@@ -1,0 +1,220 @@
+//! Broadcast baselines: Decay and Round-Robin.
+//!
+//! The dual graph model was introduced (as the *dynamic fault* model) to
+//! show that multihop broadcast gets strictly harder with unreliable links
+//! [Clementi–Monti–Silvestri; Kuhn–Lynch–Newport]. These two classic
+//! protocols bracket the trade-off the paper's introduction motivates:
+//!
+//! * [`DecayBroadcast`] — the randomized Decay protocol (Bar-Yehuda,
+//!   Goldreich, Itai): fast (`O(D·log n)` expected in the classic model) but
+//!   its contention reduction can be thwarted by adversarial unreliable
+//!   links;
+//! * [`RoundRobinBroadcast`] — each process transmits only in its own slot
+//!   of an `n`-round cycle: slow (`Θ(n)` per hop) but **immune to any
+//!   adversary**, because a slot owner always broadcasts alone. Clementi et
+//!   al. proved round robin optimal for fault-tolerant broadcast, which is
+//!   exactly why link detectors are needed to do better.
+
+use radio_sim::{Action, Context, MessageSize, Process};
+use radio_structures::params::ceil_log2;
+use rand::Rng as _;
+
+/// The broadcast payload: a hop counter (standing in for application data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flood {
+    /// Hops traveled so far.
+    pub hops: u32,
+}
+
+impl MessageSize for Flood {
+    fn bits(&self) -> u64 {
+        32
+    }
+}
+
+/// The Decay broadcast process.
+///
+/// Informed processes run repeated decay phases of `⌈log₂ n⌉ + 1` rounds;
+/// in round `j` of a phase they broadcast with probability `2^{-j}`
+/// (starting at 1 and halving). A process outputs once informed, so an
+/// engine run ends when the flood has covered the network.
+#[derive(Debug, Clone)]
+pub struct DecayBroadcast {
+    phase_len: u64,
+    informed: Option<u32>,
+}
+
+impl DecayBroadcast {
+    /// Creates a process; `source` processes start informed (hop 0).
+    pub fn new(n: usize, source: bool) -> Self {
+        DecayBroadcast {
+            phase_len: u64::from(ceil_log2(n)) + 1,
+            informed: if source { Some(0) } else { None },
+        }
+    }
+
+    /// Hops at which this process was informed, if it has been.
+    pub fn informed_at(&self) -> Option<u32> {
+        self.informed
+    }
+}
+
+impl Process for DecayBroadcast {
+    type Msg = Flood;
+
+    fn decide(&mut self, ctx: &mut Context<'_>) -> Action<Flood> {
+        let Some(hops) = self.informed else {
+            return Action::Idle;
+        };
+        let j = (ctx.local_round - 1) % self.phase_len;
+        let p = 0.5f64.powi(j as i32);
+        if ctx.rng.gen_bool(p) {
+            Action::Broadcast(Flood { hops: hops + 1 })
+        } else {
+            Action::Idle
+        }
+    }
+
+    fn receive(&mut self, _ctx: &mut Context<'_>, msg: Option<&Flood>) {
+        if let Some(f) = msg {
+            if self.informed.is_none() {
+                self.informed = Some(f.hops);
+            }
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        self.informed.map(|_| true)
+    }
+}
+
+/// The round-robin broadcast process: process `i` transmits only in rounds
+/// `r ≡ i−1 (mod n)`, so every transmission is collision-free no matter
+/// what the adversary does with unreliable edges.
+#[derive(Debug, Clone)]
+pub struct RoundRobinBroadcast {
+    informed: Option<u32>,
+}
+
+impl RoundRobinBroadcast {
+    /// Creates a process; `source` processes start informed (hop 0).
+    pub fn new(source: bool) -> Self {
+        RoundRobinBroadcast {
+            informed: if source { Some(0) } else { None },
+        }
+    }
+
+    /// Hops at which this process was informed, if it has been.
+    pub fn informed_at(&self) -> Option<u32> {
+        self.informed
+    }
+}
+
+impl Process for RoundRobinBroadcast {
+    type Msg = Flood;
+
+    fn decide(&mut self, ctx: &mut Context<'_>) -> Action<Flood> {
+        let Some(hops) = self.informed else {
+            return Action::Idle;
+        };
+        let n = ctx.n as u64;
+        if (ctx.local_round - 1) % n == u64::from(ctx.my_id.get() - 1) {
+            Action::Broadcast(Flood { hops: hops + 1 })
+        } else {
+            Action::Idle
+        }
+    }
+
+    fn receive(&mut self, _ctx: &mut Context<'_>, msg: Option<&Flood>) {
+        if let Some(f) = msg {
+            if self.informed.is_none() {
+                self.informed = Some(f.hops);
+            }
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        self.informed.map(|_| true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_sim::adversary::Collider;
+    use radio_sim::{DualGraph, EngineBuilder, Graph, StopReason};
+
+    fn line_net(n: usize) -> DualGraph {
+        DualGraph::classic(Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1))).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn decay_floods_a_line() {
+        let mut e = EngineBuilder::new(line_net(12))
+            .seed(1)
+            .spawn(|info| DecayBroadcast::new(info.n, info.node.index() == 0))
+            .unwrap();
+        let out = e.run(10_000);
+        assert_eq!(out.stop, StopReason::AllDone);
+        assert!(e.procs().iter().all(|p| p.informed_at().is_some()));
+    }
+
+    #[test]
+    fn round_robin_floods_within_n_times_diameter() {
+        let n = 12;
+        let mut e = EngineBuilder::new(line_net(n))
+            .seed(1)
+            .spawn(|info| RoundRobinBroadcast::new(info.node.index() == 0))
+            .unwrap();
+        let out = e.run((n as u64) * (n as u64 + 1));
+        assert_eq!(out.stop, StopReason::AllDone);
+        // A line has diameter n-1; each cycle advances the frontier by >= 1.
+        assert!(out.rounds <= (n as u64) * (n as u64));
+    }
+
+    #[test]
+    fn round_robin_is_adversary_immune() {
+        // Line in G plus dense unreliable chords; the collider cannot stop
+        // round robin because slot owners always broadcast alone.
+        let g = Graph::from_edges(10, (0..9).map(|i| (i, i + 1))).unwrap();
+        let mut gp = g.clone();
+        for i in 0..8 {
+            gp.add_edge(i, i + 2);
+        }
+        let net = DualGraph::new(g, gp).unwrap();
+        let mut e = EngineBuilder::new(net)
+            .seed(2)
+            .adversary(Collider)
+            .spawn(|info| RoundRobinBroadcast::new(info.node.index() == 0))
+            .unwrap();
+        let out = e.run(10 * 10 + 10);
+        assert_eq!(out.stop, StopReason::AllDone);
+    }
+
+    #[test]
+    fn decay_beats_round_robin_in_classic_model() {
+        // With sequential ids along the line, round robin's slot order
+        // coincidentally rides the wavefront; reverse the assignment so each
+        // hop costs it a full n-round cycle (the generic case).
+        let n = 24usize;
+        let ids = radio_sim::IdAssignment::from_ids((1..=n as u32).rev().collect()).unwrap();
+        let rounds_of = |decay: bool| {
+            if decay {
+                let mut e = EngineBuilder::new(line_net(n))
+                    .seed(7)
+                    .ids(ids.clone())
+                    .spawn(|info| DecayBroadcast::new(info.n, info.node.index() == 0))
+                    .unwrap();
+                e.run(1_000_000).rounds
+            } else {
+                let mut e = EngineBuilder::new(line_net(n))
+                    .seed(7)
+                    .ids(ids.clone())
+                    .spawn(|info| RoundRobinBroadcast::new(info.node.index() == 0))
+                    .unwrap();
+                e.run(1_000_000).rounds
+            }
+        };
+        assert!(rounds_of(true) < rounds_of(false));
+    }
+}

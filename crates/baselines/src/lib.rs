@@ -1,0 +1,22 @@
+//! # radio-baselines — comparators for the unreliable-radio reproduction
+//!
+//! Baselines the paper references or implies, used by the experiment
+//! harness for ablations and context:
+//!
+//! * [`broadcast`] — the Decay protocol (fast, adversary-fragile) and
+//!   round-robin broadcast (slow, adversary-immune): the trade-off that
+//!   motivates link detectors in the first place;
+//! * [`naive_ccds`] — the "give every neighbor an exploration turn" CCDS,
+//!   the `Θ(Δ)`-explorations foil for the banned list (E8);
+//! * [`centralized`] — offline greedy MIS/CDS constructions as structure
+//!   quality yardsticks.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod broadcast;
+pub mod centralized;
+pub mod naive_ccds;
+
+pub use broadcast::{DecayBroadcast, Flood, RoundRobinBroadcast};
+pub use naive_ccds::NaiveCcdsConfig;

@@ -1,0 +1,51 @@
+//! E8 bench: banned-list CCDS vs the naive explore-every-neighbor baseline
+//! at matched density.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use radio_sim::topology::{grid, GridConfig};
+use radio_sim::EngineBuilder;
+use radio_structures::runner::{run_ccds, AdversaryKind};
+use radio_structures::CcdsConfig;
+use radio_baselines::NaiveCcdsConfig;
+use rand::SeedableRng;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_ablation");
+    group.measurement_time(Duration::from_secs(4));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let net = grid(&GridConfig::new(5, 5, 0.6), &mut rng).expect("valid grid");
+    let n = net.n();
+    let delta = net.max_degree_g();
+
+    let cfg = CcdsConfig::new(n, delta, 1024);
+    group.bench_function("banned_list", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_ccds(&net, &cfg, AdversaryKind::Random { p: 0.5 }, seed)
+                .expect("b above minimum")
+                .max_explorations
+        });
+    });
+
+    let naive = NaiveCcdsConfig::new(n, delta);
+    group.bench_function("naive_explore_all", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut engine = EngineBuilder::new(net.clone())
+                .seed(seed)
+                .spawn(|info| naive.spawn(info.id))
+                .expect("valid engine");
+            engine.run(naive.total_rounds() + 1);
+            engine.round()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

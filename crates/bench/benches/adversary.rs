@@ -1,0 +1,81 @@
+//! E9 bench: adversary impact on MIS, and detector-less broadcast
+//! baselines (Decay vs round robin) in the dual graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use radio_baselines::{DecayBroadcast, RoundRobinBroadcast};
+use radio_sim::adversary::Collider;
+use radio_sim::topology::{random_geometric, RandomGeometricConfig};
+use radio_sim::{DualGraph, EngineBuilder, Graph};
+use radio_structures::params::MisParams;
+use radio_structures::runner::{run_mis, AdversaryKind};
+use rand::SeedableRng;
+
+fn bench_mis_under_adversaries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9a_mis_adversaries");
+    group.measurement_time(Duration::from_secs(4));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let net = random_geometric(&RandomGeometricConfig::dense(48), &mut rng)
+        .expect("dense configuration connects");
+    for (name, kind) in [
+        ("reliable_only", AdversaryKind::ReliableOnly),
+        ("all_unreliable", AdversaryKind::AllUnreliable),
+        ("collider", AdversaryKind::Collider),
+    ] {
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_mis(&net, MisParams::default(), kind, seed).solve_round
+            });
+        });
+    }
+    group.finish();
+}
+
+fn broadcast_net(len: usize) -> DualGraph {
+    let g = Graph::from_edges(len, (0..len - 1).map(|i| (i, i + 1))).expect("path");
+    let mut gp = g.clone();
+    for i in 0..len - 2 {
+        gp.add_edge(i, i + 2);
+    }
+    DualGraph::new(g, gp).expect("valid dual graph")
+}
+
+fn bench_broadcast_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9b_broadcast");
+    group.measurement_time(Duration::from_secs(4));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+    let net = broadcast_net(16);
+    group.bench_function("decay_under_collider", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut e = EngineBuilder::new(net.clone())
+                .seed(seed)
+                .adversary(Collider)
+                .spawn(|info| DecayBroadcast::new(info.n, info.node.index() == 0))
+                .expect("valid engine");
+            e.run(50_000).rounds
+        });
+    });
+    group.bench_function("round_robin_under_collider", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut e = EngineBuilder::new(net.clone())
+                .seed(seed)
+                .adversary(Collider)
+                .spawn(|info| RoundRobinBroadcast::new(info.node.index() == 0))
+                .expect("valid engine");
+            e.run(50_000).rounds
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mis_under_adversaries, bench_broadcast_baselines);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E7 bench: asynchronous-start MIS (Section 9) with staggered wake-ups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use radio_sim::topology::{random_geometric, RandomGeometricConfig};
+use radio_sim::EngineBuilder;
+use radio_structures::{AsyncFilter, AsyncMis, AsyncMisParams};
+use rand::SeedableRng;
+
+fn bench_async_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_async_mis");
+    group.measurement_time(Duration::from_secs(4));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut cfg = RandomGeometricConfig::dense(n);
+        cfg.gray_prob = 0.0; // classic model for the no-topology variant
+        let net = random_geometric(&cfg, &mut rng).expect("configuration connects");
+        let params = AsyncMisParams::default();
+        let epoch = params.epoch_len(n);
+        let wakes: Vec<u64> = (0..n).map(|i| 1 + (i as u64 % 4) * (epoch / 2)).collect();
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut engine = EngineBuilder::new(net.clone())
+                    .seed(seed)
+                    .wake_rounds(wakes.clone())
+                    .spawn(|info| AsyncMis::new(info.n, info.id, params, AsyncFilter::AcceptAll))
+                    .expect("valid engine");
+                engine.run(200 * epoch);
+                engine.round()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_async_mis);
+criterion_main!(benches);

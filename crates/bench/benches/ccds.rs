@@ -1,0 +1,64 @@
+//! E3 bench: CCDS (Section 5) executions across the `Δ`/`b` trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use radio_sim::topology::{random_geometric, RandomGeometricConfig};
+use radio_structures::runner::{run_ccds, AdversaryKind};
+use radio_structures::CcdsConfig;
+use rand::SeedableRng;
+
+fn bench_ccds_message_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_ccds_b_sweep");
+    group.measurement_time(Duration::from_secs(4));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+    let n = 48usize;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let net = random_geometric(&RandomGeometricConfig::dense(n), &mut rng)
+        .expect("dense configuration connects");
+    for b in [64u64, 256, 1024] {
+        let cfg = CcdsConfig::new(n, net.max_degree_g(), b);
+        group.bench_with_input(BenchmarkId::new("b", b), &b, |bench, _| {
+            let mut seed = 0u64;
+            bench.iter(|| {
+                seed += 1;
+                let run = run_ccds(&net, &cfg, AdversaryKind::Random { p: 0.5 }, seed)
+                    .expect("b above minimum");
+                assert_eq!(run.metrics.oversize_messages, 0);
+                run.solve_round
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ccds_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_ccds_delta_sweep");
+    group.measurement_time(Duration::from_secs(4));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+    let n = 48usize;
+    for deg in [8.0f64, 16.0] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let net = random_geometric(&RandomGeometricConfig::with_expected_degree(n, deg), &mut rng)
+            .expect("configuration connects");
+        let cfg = CcdsConfig::new(n, net.max_degree_g(), 64);
+        group.bench_with_input(
+            BenchmarkId::new("target_degree", deg as u64),
+            &deg,
+            |bench, _| {
+                let mut seed = 0u64;
+                bench.iter(|| {
+                    seed += 1;
+                    run_ccds(&net, &cfg, AdversaryKind::Random { p: 0.5 }, seed)
+                        .expect("b above minimum")
+                        .solve_round
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ccds_message_bound, bench_ccds_density);
+criterion_main!(benches);

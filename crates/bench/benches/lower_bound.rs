@@ -1,0 +1,44 @@
+//! E5 bench: the lower-bound machinery — hitting games and the two-clique
+//! reduction network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use hitting_games::{mean_hitting_time, run_two_clique, UniformNoReplacement};
+
+fn bench_single_game(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5a_single_hitting_game");
+    group.measurement_time(Duration::from_secs(4));
+    group.warm_up_time(Duration::from_secs(1));
+    for beta in [64u32, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("beta", beta), &beta, |b, &beta| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                mean_hitting_time(beta, 50, seed, |s| {
+                    Box::new(UniformNoReplacement::new(beta, s))
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_two_clique(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5b_two_clique");
+    group.measurement_time(Duration::from_secs(4));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for beta in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("beta", beta), &beta, |b, &beta| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_two_clique(beta, 0, 1, seed).solve_round
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_game, bench_two_clique);
+criterion_main!(benches);

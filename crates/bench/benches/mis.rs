@@ -1,0 +1,58 @@
+//! E1 bench: MIS (Section 4) executions across network sizes and
+//! adversaries. Criterion measures wall-clock per full solve; the rounds
+//! tables come from the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use radio_sim::topology::{random_geometric, RandomGeometricConfig};
+use radio_structures::params::MisParams;
+use radio_structures::runner::{run_mis, AdversaryKind};
+use rand::SeedableRng;
+
+fn bench_mis_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_mis");
+    group.measurement_time(Duration::from_secs(4));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let net = random_geometric(&RandomGeometricConfig::dense(n), &mut rng)
+            .expect("dense configuration connects");
+        group.bench_with_input(BenchmarkId::new("solve", n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let run = run_mis(&net, MisParams::default(), AdversaryKind::Random { p: 0.5 }, seed);
+                assert!(run.report.terminated);
+                run.solve_round
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mis_adversaries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_mis_adversaries");
+    group.measurement_time(Duration::from_secs(4));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let net = random_geometric(&RandomGeometricConfig::dense(64), &mut rng)
+        .expect("dense configuration connects");
+    for (name, kind) in [
+        ("reliable", AdversaryKind::ReliableOnly),
+        ("collider", AdversaryKind::Collider),
+    ] {
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_mis(&net, MisParams::default(), kind, seed).solve_round
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mis_scaling, bench_mis_adversaries);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E4 bench: τ-complete CCDS (Section 6) across τ and density.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use radio_sim::topology::{random_geometric, RandomGeometricConfig};
+use radio_sim::{IdAssignment, LinkDetectorAssignment, SpuriousSource};
+use radio_structures::runner::{run_tau_ccds, AdversaryKind};
+use radio_structures::TauConfig;
+use rand::SeedableRng;
+
+fn bench_tau_ccds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_tau_ccds");
+    group.measurement_time(Duration::from_secs(4));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+    let n = 24usize;
+    for tau in [1usize, 2] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let net = random_geometric(&RandomGeometricConfig::dense(n), &mut rng)
+            .expect("dense configuration connects");
+        let ids = IdAssignment::identity(n);
+        let det = LinkDetectorAssignment::tau_complete(
+            &net,
+            &ids,
+            tau,
+            SpuriousSource::UnreliableNeighbors,
+            &mut rng,
+        );
+        let cfg = TauConfig::new(n, net.max_degree_g() + tau, tau);
+        group.bench_with_input(BenchmarkId::new("tau", tau), &tau, |bench, _| {
+            let mut seed = 0u64;
+            bench.iter(|| {
+                seed += 1;
+                run_tau_ccds(&net, &det, &cfg, AdversaryKind::Random { p: 0.5 }, seed).winners
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tau_ccds);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! CLI harness regenerating the experiment tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments --all            # every experiment, full scale
+//! experiments --all --quick    # every experiment, smoke-test scale
+//! experiments e1 e5 --json     # selected experiments, JSON output
+//! ```
+
+use radio_bench::{run_experiment, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let all = args.iter().any(|a| a == "--all");
+    let mut ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    if all || ids.is_empty() {
+        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        if !ALL_EXPERIMENTS.contains(&id.as_str()) {
+            eprintln!("unknown experiment id: {id} (expected e1..e9)");
+            std::process::exit(2);
+        }
+    }
+    for id in &ids {
+        eprintln!("running {id}{}...", if quick { " (quick)" } else { "" });
+        let tables = run_experiment(id, quick);
+        for t in tables {
+            if json {
+                println!("{}", serde_json::to_string(&t).expect("serializable table"));
+            } else {
+                println!("{}", t.render());
+            }
+        }
+    }
+}

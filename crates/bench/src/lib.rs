@@ -1,0 +1,21 @@
+//! # radio-bench — the experiment harness
+//!
+//! Regenerates every evaluation claim of *Structuring Unreliable Radio
+//! Networks* as a table. The paper is a theory paper — its "tables and
+//! figures" are theorems — so each experiment measures the quantity a
+//! theorem bounds and reports the shape (scaling exponents, crossovers,
+//! separations, validity rates). See `DESIGN.md` for the per-experiment
+//! index and `EXPERIMENTS.md` for recorded paper-vs-measured results.
+//!
+//! Run everything: `cargo run -p radio-bench --bin experiments --release -- --all`
+//! Run one: `cargo run -p radio-bench --bin experiments --release -- e5`
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod stats;
+pub mod table;
+
+pub use experiments::{run_experiment, ALL_EXPERIMENTS};
+pub use table::Table;

@@ -1,0 +1,115 @@
+//! Small statistics helpers for the experiment tables: least-squares fits
+//! used to report measured scaling exponents next to the theorems' claims.
+
+/// Ordinary least-squares slope and intercept of `y = a·x + b`.
+///
+/// Returns `None` for fewer than two points or a degenerate `x` range.
+///
+/// # Examples
+///
+/// ```
+/// use radio_bench::stats::linear_fit;
+/// let (a, b) = linear_fit(&[(1.0, 3.0), (2.0, 5.0), (3.0, 7.0)]).unwrap();
+/// assert!((a - 2.0).abs() < 1e-9);
+/// assert!((b - 1.0).abs() < 1e-9);
+/// ```
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let a = (n * sxy - sx * sy) / denom;
+    let b = (sy - a * sx) / n;
+    Some((a, b))
+}
+
+/// The slope of `log y` against `log x` — the empirical scaling exponent
+/// `p` in `y ≈ c·x^p`.
+///
+/// Returns `None` unless at least two points with positive coordinates are
+/// provided.
+///
+/// # Examples
+///
+/// ```
+/// use radio_bench::stats::loglog_exponent;
+/// // y = 3·x² ⇒ exponent 2.
+/// let pts: Vec<(f64, f64)> = (1..6).map(|x| (x as f64, 3.0 * (x * x) as f64)).collect();
+/// assert!((loglog_exponent(&pts).unwrap() - 2.0).abs() < 1e-9);
+/// ```
+pub fn loglog_exponent(points: &[(f64, f64)]) -> Option<f64> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    linear_fit(&logs).map(|(a, _)| a)
+}
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        f64::NAN
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (n−1 denominator).
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() as f64 - 1.0)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 4.0 * i as f64 - 2.0)).collect();
+        let (a, b) = linear_fit(&pts).unwrap();
+        assert!((a - 4.0).abs() < 1e-9);
+        assert!((b + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 1.0)]).is_none());
+        assert!(linear_fit(&[(2.0, 1.0), (2.0, 5.0)]).is_none());
+        assert!(loglog_exponent(&[(0.0, 1.0), (-1.0, 2.0)]).is_none());
+    }
+
+    #[test]
+    fn exponent_of_cubic_logs() {
+        // y = (log x)^3 plotted against log x has exponent 3.
+        let pts: Vec<(f64, f64)> = (2..8)
+            .map(|k| {
+                let l = (1u64 << k) as f64;
+                (l.log2(), l.log2().powi(3))
+            })
+            .collect();
+        assert!((loglog_exponent(&pts).unwrap() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((stddev(&xs) - 2.138089935299395).abs() < 1e-9);
+        assert!(mean(&[]).is_nan());
+        assert!(stddev(&[1.0]).is_nan());
+    }
+}

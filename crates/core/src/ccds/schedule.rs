@@ -1,0 +1,392 @@
+//! The fixed global schedule of the CCDS algorithm.
+//!
+//! Everything in Section 5 is built from fixed-length phases agreed on by
+//! all processes (synchronous starts make this possible): the MIS prefix,
+//! then `ℓ_SE` search epochs, each consisting of
+//!
+//! 1. **Phase 1** — banned-list dissemination: `C` windows of `ℓ_BB` rounds,
+//!    where `C` is the worst-case number of `b`-bit chunks a banned-list
+//!    diff needs (`C = O(Δ·log n / b)`, the source of the `Δ·log²n/b` term);
+//! 2. **Phase 2** — directed-decay nominations: `⌈log n⌉` doubling phases of
+//!    `ℓ_DD` rounds, each followed by a stop-order window of `ℓ_BB` rounds;
+//! 3. **Phase 3** — exploration: a select window, an explore window, then
+//!    `C` reply windows and `C` relay windows, each `ℓ_BB` rounds.
+//!
+//! [`Schedule::slot`] maps a 0-based round index to its position; processes
+//! derive all state-machine transitions from it.
+
+use crate::params::{ceil_log2, id_bits, CcdsParams};
+use serde::{Deserialize, Serialize};
+
+/// Static description of the CCDS round layout for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Rounds of the MIS prefix.
+    pub mis_total: u64,
+    /// Rounds per bounded-broadcast window (`ℓ_BB`).
+    pub bb_len: u64,
+    /// Rounds per directed-decay contention phase (`ℓ_DD`).
+    pub dd_len: u64,
+    /// Number of directed-decay phases (`⌈log₂ n⌉`).
+    pub dd_phases: u32,
+    /// Banned-list/reply chunk windows per epoch (`C`).
+    pub chunk_windows: u64,
+    /// Ids per chunk (dictated by the message bound `b`).
+    pub chunk_capacity: usize,
+    /// Phase 1 length in rounds.
+    pub p1_len: u64,
+    /// Phase 2 length in rounds.
+    pub p2_len: u64,
+    /// Phase 3 length in rounds.
+    pub p3_len: u64,
+    /// One search epoch in rounds.
+    pub epoch_len: u64,
+    /// Number of search epochs (`ℓ_SE`).
+    pub search_epochs: u64,
+    /// Total schedule length in rounds.
+    pub total: u64,
+}
+
+/// Errors computing a [`Schedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The message bound `b` cannot fit even a one-id chunk
+    /// (`b < header + 5·id_bits` for this `n`).
+    MessageBoundTooSmall {
+        /// The offending bound.
+        b: u64,
+        /// The minimum workable bound for this `n`.
+        min: u64,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::MessageBoundTooSmall { b, min } => {
+                write!(f, "message bound b = {b} bits is below the minimum {min}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Fixed per-message header overhead in bits (tag + sequencing).
+pub const HEADER_BITS: u64 = 19;
+
+impl Schedule {
+    /// Computes the schedule for network size `n`, degree bound
+    /// `delta_bound` (the paper's implicitly known `Δ`), and message bound
+    /// `b` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::MessageBoundTooSmall`] if `b` cannot carry a
+    /// single id after headers (the paper assumes `b = Ω(log n)`).
+    pub fn compute(
+        n: usize,
+        delta_bound: usize,
+        b: u64,
+        params: &CcdsParams,
+    ) -> Result<Self, ScheduleError> {
+        let idb = id_bits(n);
+        // Worst fixed overhead across chunked messages: header plus four
+        // address/label ids (origin, via, mis, from).
+        let overhead = HEADER_BITS + 4 * idb;
+        if b < overhead + idb {
+            return Err(ScheduleError::MessageBoundTooSmall { b, min: overhead + idb });
+        }
+        let chunk_capacity = ((b - overhead) / idb) as usize;
+        let max_ids = delta_bound as u64 + 1; // a diff or a neighborhood: ≤ Δ+1 ids
+        let chunk_windows = max_ids.div_ceil(chunk_capacity as u64).max(1);
+        let bb_len = params.bb_len(n);
+        let dd_len = params.dd_len(n);
+        let dd_phases = ceil_log2(n);
+        let p1_len = chunk_windows * bb_len;
+        let p2_len = u64::from(dd_phases) * (dd_len + bb_len);
+        let p3_len = (2 + 2 * chunk_windows) * bb_len;
+        let epoch_len = p1_len + p2_len + p3_len;
+        let search_epochs = u64::from(params.search_epochs);
+        let mis_total = params.mis.total_rounds(n);
+        Ok(Schedule {
+            mis_total,
+            bb_len,
+            dd_len,
+            dd_phases,
+            chunk_windows,
+            chunk_capacity,
+            p1_len,
+            p2_len,
+            p3_len,
+            epoch_len,
+            search_epochs,
+            total: mis_total + search_epochs * epoch_len,
+        })
+    }
+
+    /// A variant of [`Schedule::compute`] with **no MIS prefix**: the
+    /// search epochs start at round 0. Used by the Section 8 repair
+    /// prototype, which keeps an already-built MIS and re-runs only the
+    /// path-finding stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::MessageBoundTooSmall`] under the same
+    /// condition as [`Schedule::compute`].
+    pub fn compute_search_only(
+        n: usize,
+        delta_bound: usize,
+        b: u64,
+        params: &CcdsParams,
+    ) -> Result<Self, ScheduleError> {
+        let mut s = Self::compute(n, delta_bound, b, params)?;
+        s.total -= s.mis_total;
+        s.mis_total = 0;
+        Ok(s)
+    }
+
+    /// Maps a 0-based round index to its slot.
+    pub fn slot(&self, r0: u64) -> Slot {
+        if r0 < self.mis_total {
+            return Slot::Mis { r0 };
+        }
+        let s = r0 - self.mis_total;
+        if s >= self.search_epochs * self.epoch_len {
+            return Slot::Done {
+                first: s == self.search_epochs * self.epoch_len,
+            };
+        }
+        let epoch = (s / self.epoch_len) as u32;
+        let e = s % self.epoch_len;
+        if e < self.p1_len {
+            return Slot::Search {
+                epoch,
+                epoch_start: e == 0,
+                phase: SearchSlot::P1 {
+                    window: e / self.bb_len,
+                    round: e % self.bb_len,
+                },
+            };
+        }
+        let e2 = e - self.p1_len;
+        if e2 < self.p2_len {
+            let unit = self.dd_len + self.bb_len;
+            let decay_phase = (e2 / unit) as u32;
+            let u = e2 % unit;
+            let phase = if u < self.dd_len {
+                SearchSlot::P2Contention {
+                    decay_phase,
+                    round: u,
+                }
+            } else {
+                SearchSlot::P2Stop {
+                    decay_phase,
+                    round: u - self.dd_len,
+                }
+            };
+            return Slot::Search {
+                epoch,
+                epoch_start: false,
+                phase,
+            };
+        }
+        let e3 = e2 - self.p2_len;
+        let window = e3 / self.bb_len;
+        let round = e3 % self.bb_len;
+        let stage = if window == 0 {
+            P3Stage::Select
+        } else if window == 1 {
+            P3Stage::Explore
+        } else if window < 2 + self.chunk_windows {
+            P3Stage::Reply {
+                chunk: window - 2,
+            }
+        } else {
+            P3Stage::Relay {
+                chunk: window - 2 - self.chunk_windows,
+            }
+        };
+        Slot::Search {
+            epoch,
+            epoch_start: false,
+            phase: SearchSlot::P3 { stage, round },
+        }
+    }
+}
+
+/// A round's position in the CCDS schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// Inside the MIS prefix (`r0` is the round index within it).
+    Mis {
+        /// 0-based round index within the MIS prefix.
+        r0: u64,
+    },
+    /// Inside search epoch `epoch`.
+    Search {
+        /// Epoch index, `0..ℓ_SE`.
+        epoch: u32,
+        /// Whether this is the epoch's first round.
+        epoch_start: bool,
+        /// Fine-grained position.
+        phase: SearchSlot,
+    },
+    /// Past the end of the schedule.
+    Done {
+        /// Whether this is the first post-schedule round.
+        first: bool,
+    },
+}
+
+/// Position within a search epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchSlot {
+    /// Phase 1, banned-list chunk dissemination.
+    P1 {
+        /// Chunk window index, `0..chunk_windows`.
+        window: u64,
+        /// Round within the window, `0..ℓ_BB`.
+        round: u64,
+    },
+    /// Phase 2, directed-decay contention rounds.
+    P2Contention {
+        /// Decay phase index, `0..⌈log₂ n⌉`.
+        decay_phase: u32,
+        /// Round within the phase, `0..ℓ_DD`.
+        round: u64,
+    },
+    /// Phase 2, stop-order window after a decay phase.
+    P2Stop {
+        /// The decay phase this window follows.
+        decay_phase: u32,
+        /// Round within the window, `0..ℓ_BB`.
+        round: u64,
+    },
+    /// Phase 3, exploration.
+    P3 {
+        /// Which exploration stage.
+        stage: P3Stage,
+        /// Round within the stage's window, `0..ℓ_BB`.
+        round: u64,
+    },
+}
+
+/// Stages of phase 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum P3Stage {
+    /// MIS node tells its chosen nominator it was selected.
+    Select,
+    /// The nominator queries the nominated process.
+    Explore,
+    /// The nominated process answers, chunk by chunk.
+    Reply {
+        /// Chunk index, `0..chunk_windows`.
+        chunk: u64,
+    },
+    /// The nominator relays the answer to the MIS node, chunk by chunk.
+    Relay {
+        /// Chunk index, `0..chunk_windows`.
+        chunk: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule() -> Schedule {
+        Schedule::compute(64, 10, 256, &CcdsParams::default()).unwrap()
+    }
+
+    #[test]
+    fn slots_partition_the_timeline() {
+        let s = schedule();
+        // Every round maps to exactly one slot, in order, with the phase
+        // lengths adding up.
+        assert_eq!(s.epoch_len, s.p1_len + s.p2_len + s.p3_len);
+        assert_eq!(s.total, s.mis_total + s.search_epochs * s.epoch_len);
+        assert!(matches!(s.slot(0), Slot::Mis { r0: 0 }));
+        assert!(matches!(s.slot(s.mis_total - 1), Slot::Mis { .. }));
+        match s.slot(s.mis_total) {
+            Slot::Search { epoch: 0, epoch_start: true, phase: SearchSlot::P1 { window: 0, round: 0 } } => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(matches!(s.slot(s.total), Slot::Done { first: true }));
+        assert!(matches!(s.slot(s.total + 5), Slot::Done { first: false }));
+    }
+
+    #[test]
+    fn phase_boundaries() {
+        let s = schedule();
+        let base = s.mis_total;
+        // Last round of P1.
+        match s.slot(base + s.p1_len - 1) {
+            Slot::Search { phase: SearchSlot::P1 { window, round }, .. } => {
+                assert_eq!(window, s.chunk_windows - 1);
+                assert_eq!(round, s.bb_len - 1);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // First round of P2.
+        match s.slot(base + s.p1_len) {
+            Slot::Search { phase: SearchSlot::P2Contention { decay_phase: 0, round: 0 }, .. } => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        // First stop window.
+        match s.slot(base + s.p1_len + s.dd_len) {
+            Slot::Search { phase: SearchSlot::P2Stop { decay_phase: 0, round: 0 }, .. } => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        // First round of P3 = select.
+        match s.slot(base + s.p1_len + s.p2_len) {
+            Slot::Search { phase: SearchSlot::P3 { stage: P3Stage::Select, round: 0 }, .. } => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Reply and relay windows.
+        match s.slot(base + s.p1_len + s.p2_len + 2 * s.bb_len) {
+            Slot::Search { phase: SearchSlot::P3 { stage: P3Stage::Reply { chunk: 0 }, .. }, .. } => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        match s.slot(base + s.p1_len + s.p2_len + (2 + s.chunk_windows) * s.bb_len) {
+            Slot::Search { phase: SearchSlot::P3 { stage: P3Stage::Relay { chunk: 0 }, .. }, .. } => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn second_epoch_starts_cleanly() {
+        let s = schedule();
+        match s.slot(s.mis_total + s.epoch_len) {
+            Slot::Search { epoch: 1, epoch_start: true, .. } => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn small_b_needs_more_windows() {
+        let params = CcdsParams::default();
+        let small = Schedule::compute(64, 40, 64, &params).unwrap();
+        let large = Schedule::compute(64, 40, 4096, &params).unwrap();
+        assert!(small.chunk_windows > large.chunk_windows);
+        assert_eq!(large.chunk_windows, 1);
+        assert!(small.total > large.total);
+    }
+
+    #[test]
+    fn rejects_tiny_b() {
+        let params = CcdsParams::default();
+        let err = Schedule::compute(1 << 20, 10, 30, &params).unwrap_err();
+        assert!(matches!(err, ScheduleError::MessageBoundTooSmall { .. }));
+    }
+
+    #[test]
+    fn chunk_capacity_respects_b() {
+        let s = Schedule::compute(256, 100, 128, &CcdsParams::default()).unwrap();
+        let idb = id_bits(256);
+        assert_eq!(
+            s.chunk_capacity as u64,
+            (128 - HEADER_BITS - 4 * idb) / idb
+        );
+    }
+}

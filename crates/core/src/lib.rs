@@ -1,0 +1,59 @@
+//! # radio-structures — MIS and CCDS for unreliable radio networks
+//!
+//! A from-scratch implementation of the algorithms of *Structuring
+//! Unreliable Radio Networks* (Censor-Hillel, Gilbert, Kuhn, Lynch,
+//! Newport; PODC 2011) on top of the [`radio_sim`] dual-graph simulator:
+//!
+//! * [`Mis`] — the Section 4 maximal independent set algorithm:
+//!   `O(log³ n)` rounds w.h.p. with 0-complete link detectors, robust to
+//!   adversarially scheduled unreliable links.
+//! * `Ccds` — the Section 5 connected dominating set with constant
+//!   degree: `O(Δ·log²n/b + log³n)` rounds w.h.p., built from the MIS plus
+//!   a banned-list path-finding procedure that connects MIS nodes within 3
+//!   hops using only `O(1)` explorations per MIS node.
+//! * `TauCcds` — the Section 6 variant for τ-complete detectors with
+//!   `τ = O(1)`: iterated MIS plus exhaustive neighborhood exchange,
+//!   `O(Δ·polylog n)` rounds (provably near-optimal; see the `hitting-games`
+//!   crate for the Ω(Δ) lower bound of Section 7).
+//! * `AsyncMis` — the Section 9 variant for asynchronous starts (and the
+//!   classic model with no topology knowledge).
+//! * `continuous` — the Section 8 continuous CCDS for dynamic link
+//!   detectors.
+//! * [`checker`] — referee-side verification of the Section 3 problem
+//!   definitions, used by the test suite and the experiment harness.
+//!
+//! All Θ(·) constants from the paper's analysis are explicit in
+//! [`params`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod checker;
+pub mod messages;
+mod mis;
+pub mod params;
+
+pub use mis::{Mis, MisCore, MisMsg};
+
+mod ccds;
+
+pub use ccds::{Ccds, CcdsConfig, CcdsCounters, CcdsMsg, Nomination, P3Stage, Schedule, ScheduleError, SearchSlot, Slot, HEADER_BITS};
+
+mod tau;
+
+pub use tau::{Assignment, TauCcds, TauConfig, TauMsg, TauParams, TauSchedule, TauSlot};
+
+mod async_mis;
+mod continuous;
+
+pub use async_mis::{AsyncFilter, AsyncMis, AsyncMisParams};
+pub use continuous::ContinuousCcds;
+
+pub mod runner;
+
+pub mod backbone;
+
+mod repair;
+
+pub use repair::RepairingCcds;

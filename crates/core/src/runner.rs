@@ -1,0 +1,300 @@
+//! One-call execution helpers: build an engine, run an algorithm, verify
+//! the result.
+//!
+//! The experiment harness, examples and integration tests all follow the
+//! same pattern — assemble a network, spawn one process per node, run the
+//! fixed schedule, check the Section 3 conditions. These helpers package
+//! that pattern with explicit, serializable results.
+
+use crate::ccds::{Ccds, CcdsConfig, ScheduleError};
+use crate::checker::{check_ccds, check_mis, CcdsReport, MisReport};
+use crate::mis::Mis;
+use crate::params::MisParams;
+use crate::tau::{TauCcds, TauConfig};
+use radio_sim::adversary::{
+    AllUnreliable, BurstyUnreliable, CliqueIsolator, Collider, RandomUnreliable, ReliableOnly,
+};
+use radio_sim::{
+    Adversary, DualGraph, EngineBuilder, ExecutionMetrics, IdAssignment, LinkDetectorAssignment,
+};
+use serde::{Deserialize, Serialize};
+
+/// A selectable reach-set adversary (value-level mirror of the `radio-sim`
+/// adversary types, so experiment configs can be plain data).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AdversaryKind {
+    /// Unreliable edges never deliver.
+    ReliableOnly,
+    /// Unreliable edges always deliver.
+    AllUnreliable,
+    /// Each unreliable edge delivers independently with probability `p`.
+    Random {
+        /// Per-edge, per-round activation probability.
+        p: f64,
+    },
+    /// Adaptive: manufactures collisions wherever a clean reception was
+    /// about to happen.
+    Collider,
+    /// Gilbert–Elliott bursty links: per-edge Good/Bad Markov chains.
+    Bursty {
+        /// Good→Bad transition probability per round.
+        p_gb: f64,
+        /// Bad→Good transition probability per round.
+        p_bg: f64,
+    },
+    /// The Lemma 7.2 clique-isolating adversary.
+    CliqueIsolator,
+}
+
+impl AdversaryKind {
+    /// Instantiates the adversary (randomized kinds derive their stream
+    /// from `seed`).
+    pub fn build(self, seed: u64) -> Box<dyn Adversary> {
+        match self {
+            AdversaryKind::ReliableOnly => Box::new(ReliableOnly),
+            AdversaryKind::AllUnreliable => Box::new(AllUnreliable),
+            AdversaryKind::Random { p } => Box::new(RandomUnreliable::new(p, seed)),
+            AdversaryKind::Collider => Box::new(Collider),
+            AdversaryKind::Bursty { p_gb, p_bg } => {
+                Box::new(BurstyUnreliable::new(p_gb, p_bg, seed))
+            }
+            AdversaryKind::CliqueIsolator => Box::new(CliqueIsolator),
+        }
+    }
+
+    /// Short name for experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdversaryKind::ReliableOnly => "reliable-only",
+            AdversaryKind::AllUnreliable => "all-unreliable",
+            AdversaryKind::Random { .. } => "random-unreliable",
+            AdversaryKind::Collider => "collider",
+            AdversaryKind::Bursty { .. } => "bursty-unreliable",
+            AdversaryKind::CliqueIsolator => "clique-isolator",
+        }
+    }
+}
+
+/// Result of one MIS execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MisRun {
+    /// Final outputs by node.
+    pub outputs: Vec<Option<bool>>,
+    /// Verification of the Section 3 MIS conditions.
+    pub report: MisReport,
+    /// Round by which the last process decided (`None` if some never did).
+    pub solve_round: Option<u64>,
+    /// Rounds the engine executed.
+    pub rounds_executed: u64,
+    /// Channel counters.
+    pub metrics: ExecutionMetrics,
+}
+
+/// Runs the Section 4 MIS on `net` with a 0-complete detector and identity
+/// id assignment, then verifies it.
+pub fn run_mis(net: &DualGraph, params: MisParams, adversary: AdversaryKind, seed: u64) -> MisRun {
+    let n = net.n();
+    let ids = IdAssignment::identity(n);
+    let det = LinkDetectorAssignment::zero_complete(net, &ids);
+    let h = det.h_graph(&ids);
+    let mut engine = EngineBuilder::new(net.clone())
+        .seed(seed)
+        .ids(ids)
+        .detector(det)
+        .adversary(adversary.build(seed ^ 0x5eed))
+        .spawn(|info| Mis::new(info.n, info.id, params))
+        .expect("engine assembly from a validated network cannot fail");
+    engine.run(params.total_rounds(n));
+    let outputs = engine.outputs();
+    MisRun {
+        report: check_mis(net, &h, &outputs),
+        solve_round: engine.all_decided_round(),
+        rounds_executed: engine.round(),
+        metrics: *engine.metrics(),
+        outputs,
+    }
+}
+
+/// Result of one CCDS execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CcdsRun {
+    /// Final outputs by node.
+    pub outputs: Vec<Option<bool>>,
+    /// Verification of the Section 3 CCDS conditions.
+    pub report: CcdsReport,
+    /// Total schedule length for this configuration.
+    pub schedule_total: u64,
+    /// Round by which the last process decided (`None` if some never did).
+    pub solve_round: Option<u64>,
+    /// Rounds the engine executed.
+    pub rounds_executed: u64,
+    /// Channel counters.
+    pub metrics: ExecutionMetrics,
+    /// Maximum explorations initiated by any single MIS node (the
+    /// banned-list efficiency statistic; the paper keeps this `O(1)`).
+    pub max_explorations: u64,
+    /// Number of MIS nodes in the final structure.
+    pub mis_size: usize,
+}
+
+/// Runs the Section 5 CCDS on `net` with a 0-complete detector and identity
+/// id assignment, then verifies it.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if `cfg.b` is too small for `cfg.n`.
+pub fn run_ccds(
+    net: &DualGraph,
+    cfg: &CcdsConfig,
+    adversary: AdversaryKind,
+    seed: u64,
+) -> Result<CcdsRun, ScheduleError> {
+    let schedule = cfg.schedule()?;
+    let ids = IdAssignment::identity(net.n());
+    let det = LinkDetectorAssignment::zero_complete(net, &ids);
+    let h = det.h_graph(&ids);
+    let mut engine = EngineBuilder::new(net.clone())
+        .seed(seed)
+        .ids(ids)
+        .detector(det)
+        .adversary(adversary.build(seed ^ 0x5eed))
+        .max_message_bits(cfg.b)
+        .spawn(|info| Ccds::new(cfg, info.id).expect("config validated above"))
+        .expect("engine assembly from a validated network cannot fail");
+    engine.run(schedule.total + 1);
+    let outputs = engine.outputs();
+    let max_explorations = engine
+        .procs()
+        .iter()
+        .filter(|p| p.mis().in_mis())
+        .map(|p| p.counters().explorations)
+        .max()
+        .unwrap_or(0);
+    let mis_size = engine.procs().iter().filter(|p| p.mis().in_mis()).count();
+    Ok(CcdsRun {
+        report: check_ccds(net, &h, &outputs),
+        schedule_total: schedule.total,
+        solve_round: engine.all_decided_round(),
+        rounds_executed: engine.round(),
+        metrics: *engine.metrics(),
+        max_explorations,
+        mis_size,
+        outputs,
+    })
+}
+
+/// Result of one τ-complete CCDS execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TauRun {
+    /// Final outputs by node.
+    pub outputs: Vec<Option<bool>>,
+    /// Verification of the Section 3 CCDS conditions (against the τ-induced
+    /// `H`).
+    pub report: CcdsReport,
+    /// Total schedule length for this configuration.
+    pub schedule_total: u64,
+    /// Round by which the last process decided (`None` if some never did).
+    pub solve_round: Option<u64>,
+    /// Rounds the engine executed.
+    pub rounds_executed: u64,
+    /// Channel counters.
+    pub metrics: ExecutionMetrics,
+    /// Number of winners (dominators) in the final structure.
+    pub winners: usize,
+}
+
+/// Runs the Section 6 τ-complete CCDS on `net` with the given detector
+/// assignment, then verifies it against the detector-induced `H`.
+pub fn run_tau_ccds(
+    net: &DualGraph,
+    det: &LinkDetectorAssignment,
+    cfg: &TauConfig,
+    adversary: AdversaryKind,
+    seed: u64,
+) -> TauRun {
+    let schedule = cfg.schedule();
+    let ids = IdAssignment::identity(net.n());
+    let h = det.h_graph(&ids);
+    let mut engine = EngineBuilder::new(net.clone())
+        .seed(seed)
+        .ids(ids)
+        .detector(det.clone())
+        .adversary(adversary.build(seed ^ 0x5eed))
+        .spawn(|info| TauCcds::new(cfg, info.id))
+        .expect("engine assembly from a validated network cannot fail");
+    engine.run(schedule.total + 1);
+    let outputs = engine.outputs();
+    let winners = engine.procs().iter().filter(|p| p.is_winner()).count();
+    TauRun {
+        report: check_ccds(net, &h, &outputs),
+        schedule_total: schedule.total,
+        solve_round: engine.all_decided_round(),
+        rounds_executed: engine.round(),
+        metrics: *engine.metrics(),
+        winners,
+        outputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_sim::topology::{random_geometric, RandomGeometricConfig};
+    use radio_sim::{Graph, SpuriousSource};
+    use rand::SeedableRng;
+
+    #[test]
+    fn mis_runner_verifies() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let net = random_geometric(&RandomGeometricConfig::dense(40), &mut rng).unwrap();
+        let run = run_mis(&net, MisParams::default(), AdversaryKind::Random { p: 0.5 }, 7);
+        assert!(run.report.is_valid(), "{:?}", run.report);
+        assert!(run.solve_round.is_some());
+        assert!(run.solve_round.unwrap() <= run.rounds_executed);
+    }
+
+    #[test]
+    fn ccds_runner_verifies() {
+        let g = Graph::from_edges(9, (0..8).map(|i| (i, i + 1))).unwrap();
+        let net = radio_sim::DualGraph::classic(g).unwrap();
+        let cfg = CcdsConfig::new(9, net.max_degree_g(), 256);
+        let run = run_ccds(&net, &cfg, AdversaryKind::ReliableOnly, 3).unwrap();
+        assert!(run.report.terminated && run.report.connected && run.report.dominating);
+        assert_eq!(run.metrics.oversize_messages, 0);
+        assert!(run.mis_size >= 1);
+    }
+
+    #[test]
+    fn tau_runner_verifies() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let net = random_geometric(&RandomGeometricConfig::dense(24), &mut rng).unwrap();
+        let ids = IdAssignment::identity(net.n());
+        let det = LinkDetectorAssignment::tau_complete(
+            &net,
+            &ids,
+            1,
+            SpuriousSource::UnreliableNeighbors,
+            &mut rng,
+        );
+        let cfg = TauConfig::new(net.n(), net.max_degree_g() + 1, 1);
+        let run = run_tau_ccds(&net, &det, &cfg, AdversaryKind::Random { p: 0.3 }, 11);
+        assert!(run.report.terminated && run.report.connected && run.report.dominating);
+        assert!(run.winners >= 1);
+    }
+
+    #[test]
+    fn adversary_kinds_build() {
+        for kind in [
+            AdversaryKind::ReliableOnly,
+            AdversaryKind::AllUnreliable,
+            AdversaryKind::Random { p: 0.5 },
+            AdversaryKind::Collider,
+            AdversaryKind::Bursty { p_gb: 0.1, p_bg: 0.1 },
+            AdversaryKind::CliqueIsolator,
+        ] {
+            let a = kind.build(1);
+            assert!(!a.name().is_empty());
+            assert_eq!(a.name(), kind.name());
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The β-double hitting game.
+//!
+//! Two players `A` and `B`, modeled as probabilistic automata, are given
+//! *each other's* targets (`P_A` learns `t_B`, `P_B` learns `t_A`) and then
+//! run with **no further communication**, each outputting at most one guess
+//! per round. The game is solved when `P_A` outputs `t_A` or `P_B` outputs
+//! `t_B`.
+//!
+//! The cross-inputs are what make the reduction from CCDS work (each
+//! simulated clique knows the *other* clique's bridge endpoint via its link
+//! detector), and also what makes the drop to the single-player game
+//! (Lemma 7.3) non-trivial: the players could use the inputs to coordinate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A double-hitting-game player automaton.
+///
+/// Implementations receive the opponent's target at construction time (that
+/// is the only communication the game permits) and then emit at most one
+/// guess per round.
+pub trait DoublePlayer {
+    /// The player's guess for the given (1-based) round, if it makes one.
+    fn guess(&mut self, round: u64) -> Option<u32>;
+}
+
+/// Outcome of a double hitting game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DoubleOutcome {
+    /// Round at which the game was solved (`None` if the budget ran out).
+    pub solved_at: Option<u64>,
+    /// Whether player A's guess solved it (meaningful when solved).
+    pub solved_by_a: bool,
+}
+
+/// Plays the β-double hitting game with the given target pair.
+///
+/// # Panics
+///
+/// Panics if a target is outside `1..=beta`.
+pub fn play_double(
+    beta: u32,
+    t_a: u32,
+    t_b: u32,
+    player_a: &mut dyn DoublePlayer,
+    player_b: &mut dyn DoublePlayer,
+    max_rounds: u64,
+) -> DoubleOutcome {
+    assert!((1..=beta).contains(&t_a), "t_a outside [beta]");
+    assert!((1..=beta).contains(&t_b), "t_b outside [beta]");
+    for r in 1..=max_rounds {
+        let a = player_a.guess(r);
+        let b = player_b.guess(r);
+        // Both players act in the same round; either hit solves the game.
+        if a == Some(t_a) {
+            return DoubleOutcome { solved_at: Some(r), solved_by_a: true };
+        }
+        if b == Some(t_b) {
+            return DoubleOutcome { solved_at: Some(r), solved_by_a: false };
+        }
+    }
+    DoubleOutcome { solved_at: None, solved_by_a: false }
+}
+
+/// A simple direct strategy: each player sweeps `[β]` in a pseudorandom
+/// order seeded by its own identity (ignoring the cross-input). Solves the
+/// game in at most `β` rounds; expected ≈ `(β+1)/2 · 1/2 + …` — the point is
+/// that *no* strategy beats `Ω(β)`, which [`crate::reduction`] inherits.
+#[derive(Debug, Clone)]
+pub struct SweepPlayer {
+    order: Vec<u32>,
+    cursor: usize,
+}
+
+impl SweepPlayer {
+    /// Creates a player that guesses a seeded random permutation of `[β]`.
+    pub fn new(beta: u32, seed: u64) -> Self {
+        use rand::seq::SliceRandom;
+        let mut order: Vec<u32> = (1..=beta).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        SweepPlayer { order, cursor: 0 }
+    }
+}
+
+impl DoublePlayer for SweepPlayer {
+    fn guess(&mut self, _round: u64) -> Option<u32> {
+        let g = self.order.get(self.cursor).copied();
+        self.cursor += 1;
+        g
+    }
+}
+
+/// Mean solve time over `trials` uniformly random target pairs — the
+/// measured complexity of a double-hitting-game strategy.
+pub fn mean_double_solve_time<FA, FB>(
+    beta: u32,
+    trials: u32,
+    seed: u64,
+    mut make_a: FA,
+    mut make_b: FB,
+) -> f64
+where
+    FA: FnMut(u32, u64) -> Box<dyn DoublePlayer>, // (t_b input, seed)
+    FB: FnMut(u32, u64) -> Box<dyn DoublePlayer>, // (t_a input, seed)
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let budget = u64::from(beta) * 8 + 16;
+    let mut total = 0u64;
+    for t in 0..trials {
+        let t_a = rng.gen_range(1..=beta);
+        let t_b = rng.gen_range(1..=beta);
+        let s = seed ^ u64::from(t).wrapping_mul(0x9e37_79b9);
+        let mut a = make_a(t_b, s);
+        let mut b = make_b(t_a, s.wrapping_add(1));
+        let out = play_double(beta, t_a, t_b, a.as_mut(), b.as_mut(), budget);
+        total += out.solved_at.unwrap_or(budget);
+    }
+    total as f64 / f64::from(trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_pair_always_solves_within_beta() {
+        for t_a in 1..=8 {
+            for t_b in 1..=8 {
+                let mut a = SweepPlayer::new(8, 1);
+                let mut b = SweepPlayer::new(8, 2);
+                let out = play_double(8, t_a, t_b, &mut a, &mut b, 8);
+                assert!(out.solved_at.is_some(), "unsolved for ({t_a}, {t_b})");
+            }
+        }
+    }
+
+    #[test]
+    fn two_players_beat_one_on_average() {
+        // Two independent sweeps: the minimum of two hitting times.
+        let double = mean_double_solve_time(
+            64,
+            300,
+            7,
+            |_, s| Box::new(SweepPlayer::new(64, s)),
+            |_, s| Box::new(SweepPlayer::new(64, s)),
+        );
+        let single = crate::single::mean_hitting_time(64, 300, 8, |s| {
+            Box::new(crate::single::UniformNoReplacement::new(64, s))
+        });
+        assert!(double < single);
+        // ...but still Ω(β): min of two uniform order statistics ≈ β/3.
+        assert!(double >= f64::from(64) / 6.0, "double = {double}");
+    }
+
+    #[test]
+    fn mean_scales_linearly_in_beta() {
+        let m32 = mean_double_solve_time(
+            32,
+            300,
+            3,
+            |_, s| Box::new(SweepPlayer::new(32, s)),
+            |_, s| Box::new(SweepPlayer::new(32, s)),
+        );
+        let m128 = mean_double_solve_time(
+            128,
+            300,
+            4,
+            |_, s| Box::new(SweepPlayer::new(128, s)),
+            |_, s| Box::new(SweepPlayer::new(128, s)),
+        );
+        let ratio = m128 / m32;
+        assert!((2.8..=5.5).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,39 @@
+//! # hitting-games — the Ω(Δ) lower-bound machinery of Section 7
+//!
+//! Theorem 7.1 of *Structuring Unreliable Radio Networks*: any CCDS
+//! algorithm that works with 1-complete link detectors needs `Ω(Δ)` rounds,
+//! **regardless of message size** — a fundamental separation from the
+//! 0-complete case (where Section 5 gives `O(polylog n)` for large
+//! messages) and from the classic radio model.
+//!
+//! The proof is a two-step reduction, and this crate implements every step
+//! as runnable code:
+//!
+//! 1. [`single`] — the β-single hitting game: guess a hidden element of
+//!    `[β]`, one guess per round. Needs `Ω(β)` rounds; measured directly.
+//! 2. [`double`] — the β-double hitting game: two non-communicating
+//!    automata, each given the *other's* target.
+//! 3. [`reduction`] — Lemma 7.2 (simulate any CCDS algorithm on the
+//!    two-clique network as two game players) and Lemma 7.3 (the winner
+//!    table that turns a double-game solver into a single-game solver).
+//! 4. [`experiment`] — the end-to-end check on the real simulator: the
+//!    Section 6 algorithm on the real two-clique network under the
+//!    clique-isolating adversary, measuring when the bridge joins.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod double;
+pub mod experiment;
+pub mod reduction;
+pub mod single;
+
+pub use double::{mean_double_solve_time, play_double, DoubleOutcome, DoublePlayer, SweepPlayer};
+pub use experiment::{run_two_clique, two_clique_sweep, TwoCliqueRun, TwoCliqueSummary};
+pub use reduction::{
+    CliquePlayer, CliqueRole, SingleConstruction, SingleFromDouble, WinnerTable,
+};
+pub use single::{
+    expected_rounds_floor, mean_hitting_time, play_single, SinglePlayer, Sweep,
+    UniformNoReplacement, UniformWithReplacement,
+};

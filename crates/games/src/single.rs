@@ -1,0 +1,175 @@
+//! The β-single hitting game.
+//!
+//! An adversary picks a target in `[β]`; a probabilistic automaton outputs
+//! one guess per round until it hits the target. The game is the bottom of
+//! the paper's reduction chain: identifying an arbitrary element among β
+//! requires `Ω(β)` rounds w.h.p. (and `(β+1)/2` guesses in expectation for
+//! the best possible strategy), so anything that solves it fast cannot
+//! exist — which is how Theorem 7.1 bounds CCDS algorithms from below.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A single-hitting-game player: one guess per round.
+pub trait SinglePlayer {
+    /// The guess for the given (1-based) round, in `1..=β`.
+    fn guess(&mut self, round: u64) -> u32;
+}
+
+/// The optimal oblivious strategy: a uniformly random permutation of `[β]`,
+/// guessed in order (no repeats). Expected hitting time `(β+1)/2`.
+#[derive(Debug, Clone)]
+pub struct UniformNoReplacement {
+    order: Vec<u32>,
+}
+
+impl UniformNoReplacement {
+    /// Creates the strategy for domain size `beta` with its own seed.
+    pub fn new(beta: u32, seed: u64) -> Self {
+        let mut order: Vec<u32> = (1..=beta).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        UniformNoReplacement { order }
+    }
+}
+
+impl SinglePlayer for UniformNoReplacement {
+    fn guess(&mut self, round: u64) -> u32 {
+        let idx = ((round - 1) as usize).min(self.order.len() - 1);
+        self.order[idx]
+    }
+}
+
+/// The deterministic sweep `1, 2, 3, …` — optimal against a uniform random
+/// target, worst-case `β` against an adversarial one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sweep;
+
+impl SinglePlayer for Sweep {
+    fn guess(&mut self, round: u64) -> u32 {
+        round as u32
+    }
+}
+
+/// Memoryless uniform guessing (with replacement): expected hitting time
+/// `β`, twice the optimum — included as a baseline strategy.
+#[derive(Debug)]
+pub struct UniformWithReplacement {
+    beta: u32,
+    rng: StdRng,
+}
+
+impl UniformWithReplacement {
+    /// Creates the strategy for domain size `beta`.
+    pub fn new(beta: u32, seed: u64) -> Self {
+        UniformWithReplacement {
+            beta,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl SinglePlayer for UniformWithReplacement {
+    fn guess(&mut self, _round: u64) -> u32 {
+        self.rng.gen_range(1..=self.beta)
+    }
+}
+
+/// Plays the β-single hitting game: returns the round at which `player`
+/// first guesses `target`, or `None` if the budget runs out.
+///
+/// # Panics
+///
+/// Panics if `target` is outside `1..=beta`.
+pub fn play_single(
+    beta: u32,
+    target: u32,
+    player: &mut dyn SinglePlayer,
+    max_rounds: u64,
+) -> Option<u64> {
+    assert!((1..=beta).contains(&target), "target outside [beta]");
+    (1..=max_rounds).find(|&r| player.guess(r) == target)
+}
+
+/// The information-theoretic expectation floor for any strategy against a
+/// uniform random target: `(β+1)/2` rounds.
+pub fn expected_rounds_floor(beta: u32) -> f64 {
+    f64::from(beta + 1) / 2.0
+}
+
+/// Empirical mean hitting time of a strategy over `trials` uniform random
+/// targets (the E5a experiment row).
+pub fn mean_hitting_time<F>(beta: u32, trials: u32, seed: u64, mut make_player: F) -> f64
+where
+    F: FnMut(u64) -> Box<dyn SinglePlayer>,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0u64;
+    for t in 0..trials {
+        let target = rng.gen_range(1..=beta);
+        let mut player = make_player(seed ^ u64::from(t).wrapping_mul(0x9e37_79b9));
+        let budget = u64::from(beta) * 8 + 16;
+        // Censor at the budget: randomized strategies with replacement can
+        // (rarely) run long; censoring only biases the mean downward, which
+        // is safe for a lower-bound experiment.
+        let rounds = play_single(beta, target, player.as_mut(), budget).unwrap_or(budget);
+        total += rounds;
+    }
+    total as f64 / f64::from(trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_hits_at_target() {
+        for target in 1..=10 {
+            assert_eq!(play_single(10, target, &mut Sweep, 100), Some(u64::from(target)));
+        }
+    }
+
+    #[test]
+    fn permutation_covers_domain() {
+        let mut p = UniformNoReplacement::new(16, 3);
+        let mut seen: Vec<u32> = (1..=16).map(|r| p.guess(r)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (1..=16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn no_replacement_never_exceeds_beta_rounds() {
+        for target in 1..=12 {
+            let mut p = UniformNoReplacement::new(12, 9);
+            let r = play_single(12, target, &mut p, 12).unwrap();
+            assert!(r <= 12);
+        }
+    }
+
+    #[test]
+    fn mean_hitting_time_scales_linearly() {
+        // The Ω(β) content of the lower bound, measured: doubling β roughly
+        // doubles the mean hitting time of the optimal strategy.
+        let m32 = mean_hitting_time(32, 200, 1, |s| Box::new(UniformNoReplacement::new(32, s)));
+        let m64 = mean_hitting_time(64, 200, 2, |s| Box::new(UniformNoReplacement::new(64, s)));
+        assert!(m32 >= 0.7 * expected_rounds_floor(32));
+        assert!(m64 >= 0.7 * expected_rounds_floor(64));
+        let ratio = m64 / m32;
+        assert!((1.5..=2.7).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn with_replacement_is_worse() {
+        let without =
+            mean_hitting_time(48, 300, 5, |s| Box::new(UniformNoReplacement::new(48, s)));
+        let with =
+            mean_hitting_time(48, 300, 6, |s| Box::new(UniformWithReplacement::new(48, s)));
+        assert!(with > without);
+    }
+
+    #[test]
+    #[should_panic(expected = "target outside")]
+    fn rejects_bad_target() {
+        play_single(5, 6, &mut Sweep, 10);
+    }
+}

@@ -1,0 +1,758 @@
+//! The synchronous execution engine for dual graph radio networks.
+//!
+//! Each round the engine: (1) asks every awake process for an action; (2)
+//! lets the adversary pick the round's reach set (all of `E` plus chosen
+//! unreliable edges); (3) applies the model's delivery rule — a listener
+//! receives a message iff *exactly one* reachable neighbor broadcast,
+//! otherwise it observes `⊥` (there is no collision detection); broadcasters
+//! receive only their own message. Processes that start asynchronously
+//! (Section 9) are simply not scheduled before their wake round.
+//!
+//! Executions are deterministic given the engine seed: every process gets a
+//! private RNG derived from it, and adversaries carry their own seeds.
+
+use crate::adversary::{Adversary, ReliableOnly};
+use crate::detector::LinkDetectorAssignment;
+use crate::dynamic::DetectorProvider;
+use crate::ids::{IdAssignment, NodeId, ProcessId};
+use crate::network::DualGraph;
+use crate::process::{Action, Context, MessageSize, Process};
+use crate::trace::{ExecutionMetrics, RoundRecord, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Errors from assembling an [`Engine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The id assignment covers a different number of nodes than the network.
+    IdSizeMismatch {
+        /// Nodes in the network.
+        n: usize,
+        /// Nodes covered by the assignment.
+        ids: usize,
+    },
+    /// The detector provider covers a different number of nodes.
+    DetectorSizeMismatch {
+        /// Nodes in the network.
+        n: usize,
+        /// Nodes covered by the provider.
+        detector: usize,
+    },
+    /// The wake-round vector has the wrong length or contains round 0.
+    BadWakeRounds,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::IdSizeMismatch { n, ids } => {
+                write!(f, "id assignment covers {ids} nodes, network has {n}")
+            }
+            EngineError::DetectorSizeMismatch { n, detector } => {
+                write!(f, "detector covers {detector} nodes, network has {n}")
+            }
+            EngineError::BadWakeRounds => {
+                write!(f, "wake rounds must have one entry >= 1 per node")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Why a run loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every process reported [`Process::is_done`].
+    AllDone,
+    /// The caller's predicate returned true.
+    Predicate,
+    /// The round budget was exhausted first.
+    MaxRounds,
+}
+
+/// Result of a run loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Total rounds executed so far (cumulative across run calls).
+    pub rounds: u64,
+    /// Why the loop stopped.
+    pub stop: StopReason,
+}
+
+/// Everything a process factory gets to see when instantiating a process.
+#[derive(Debug)]
+pub struct SpawnInfo<'a> {
+    /// The node the process is assigned to.
+    pub node: NodeId,
+    /// The process's unique id.
+    pub id: ProcessId,
+    /// Network size `n`.
+    pub n: usize,
+    /// The process's link detector output at its wake round.
+    pub detector: &'a BTreeSet<u32>,
+    /// The round the process wakes (1 = synchronous start).
+    pub wake_round: u64,
+}
+
+/// Builder for [`Engine`]; start with [`EngineBuilder::new`].
+pub struct EngineBuilder {
+    net: DualGraph,
+    ids: Option<IdAssignment>,
+    adversary: Box<dyn Adversary>,
+    detectors: Option<Box<dyn DetectorProvider>>,
+    wake_rounds: Option<Vec<u64>>,
+    seed: u64,
+    max_message_bits: Option<u64>,
+    record_trace: bool,
+}
+
+impl EngineBuilder {
+    /// Starts building an engine for `net`.
+    pub fn new(net: DualGraph) -> Self {
+        EngineBuilder {
+            net,
+            ids: None,
+            adversary: Box::new(ReliableOnly),
+            detectors: None,
+            wake_rounds: None,
+            seed: 0,
+            max_message_bits: None,
+            record_trace: false,
+        }
+    }
+
+    /// Sets the process-to-node assignment (default: identity).
+    pub fn ids(mut self, ids: IdAssignment) -> Self {
+        self.ids = Some(ids);
+        self
+    }
+
+    /// Sets the reach-set adversary (default: [`ReliableOnly`]).
+    pub fn adversary(mut self, a: impl Adversary + 'static) -> Self {
+        self.adversary = Box::new(a);
+        self
+    }
+
+    /// Sets the link detector provider (default: the 0-complete detector for
+    /// the network and id assignment).
+    pub fn detector(mut self, d: impl DetectorProvider + 'static) -> Self {
+        self.detectors = Some(Box::new(d));
+        self
+    }
+
+    /// Sets per-node wake rounds (default: every node wakes at round 1).
+    pub fn wake_rounds(mut self, w: Vec<u64>) -> Self {
+        self.wake_rounds = Some(w);
+        self
+    }
+
+    /// Sets the master seed for process randomness (default: 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enforces a message-size bound `b` in bits; oversize broadcasts are
+    /// counted in [`ExecutionMetrics::oversize_messages`].
+    pub fn max_message_bits(mut self, b: u64) -> Self {
+        self.max_message_bits = Some(b);
+        self
+    }
+
+    /// Enables per-round trace recording (default: off).
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// Instantiates one process per node via `factory` and assembles the
+    /// engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when the id assignment, detector provider, or
+    /// wake-round vector does not match the network size.
+    pub fn spawn<P, F>(self, mut factory: F) -> Result<Engine<P>, EngineError>
+    where
+        P: Process,
+        F: FnMut(SpawnInfo<'_>) -> P,
+    {
+        let n = self.net.n();
+        let ids = self.ids.unwrap_or_else(|| IdAssignment::identity(n));
+        if ids.n() != n {
+            return Err(EngineError::IdSizeMismatch { n, ids: ids.n() });
+        }
+        let detectors: Box<dyn DetectorProvider> = match self.detectors {
+            Some(d) => d,
+            None => Box::new(LinkDetectorAssignment::zero_complete(&self.net, &ids)),
+        };
+        if detectors.n() != n {
+            return Err(EngineError::DetectorSizeMismatch {
+                n,
+                detector: detectors.n(),
+            });
+        }
+        let wake_rounds = self.wake_rounds.unwrap_or_else(|| vec![1; n]);
+        if wake_rounds.len() != n || wake_rounds.iter().any(|&w| w == 0) {
+            return Err(EngineError::BadWakeRounds);
+        }
+        let mut master = StdRng::seed_from_u64(self.seed);
+        let rngs = (0..n)
+            .map(|_| StdRng::seed_from_u64(master.gen()))
+            .collect();
+        let procs = (0..n)
+            .map(|v| {
+                factory(SpawnInfo {
+                    node: NodeId(v),
+                    id: ids.id_of(NodeId(v)),
+                    n,
+                    detector: detectors.set_at(NodeId(v), wake_rounds[v]),
+                    wake_round: wake_rounds[v],
+                })
+            })
+            .collect();
+        Ok(Engine {
+            net: self.net,
+            ids,
+            procs,
+            adversary: self.adversary,
+            detectors,
+            wake_rounds,
+            rngs,
+            round: 0,
+            metrics: ExecutionMetrics::default(),
+            trace: if self.record_trace { Some(Trace::new()) } else { None },
+            max_message_bits: self.max_message_bits,
+            decided_round: vec![None; n],
+            scratch_extra: Vec::new(),
+        })
+    }
+}
+
+/// Executes an algorithm on a dual graph network, round by round.
+///
+/// # Examples
+///
+/// Run a trivial one-round algorithm in which everyone immediately outputs:
+///
+/// ```
+/// use radio_sim::{Action, Context, DualGraph, EngineBuilder, Graph, Process};
+///
+/// struct Silent(Option<bool>);
+/// impl Process for Silent {
+///     type Msg = ();
+///     fn decide(&mut self, _: &mut Context<'_>) -> Action<()> {
+///         self.0 = Some(false);
+///         Action::Idle
+///     }
+///     fn receive(&mut self, _: &mut Context<'_>, _: Option<&()>) {}
+///     fn output(&self) -> Option<bool> { self.0 }
+/// }
+///
+/// let net = DualGraph::classic(Graph::from_edges(2, [(0, 1)])?)?;
+/// let mut engine = EngineBuilder::new(net).spawn(|_| Silent(None))?;
+/// let outcome = engine.run(10);
+/// assert_eq!(outcome.rounds, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Engine<P: Process> {
+    net: DualGraph,
+    ids: IdAssignment,
+    procs: Vec<P>,
+    adversary: Box<dyn Adversary>,
+    detectors: Box<dyn DetectorProvider>,
+    wake_rounds: Vec<u64>,
+    rngs: Vec<StdRng>,
+    round: u64,
+    metrics: ExecutionMetrics,
+    trace: Option<Trace>,
+    max_message_bits: Option<u64>,
+    decided_round: Vec<Option<u64>>,
+    scratch_extra: Vec<(usize, usize)>,
+}
+
+impl<P: Process> Engine<P> {
+    /// Executes one synchronous round.
+    pub fn step(&mut self) {
+        let n = self.net.n();
+        self.round += 1;
+        let r = self.round;
+        self.metrics.rounds = r;
+
+        // Phase 1: every awake process decides.
+        let mut messages: Vec<Option<P::Msg>> = Vec::with_capacity(n);
+        let mut broadcasting = vec![false; n];
+        for v in 0..n {
+            if self.wake_rounds[v] > r {
+                messages.push(None);
+                continue;
+            }
+            let det = self.detectors.set_at(NodeId(v), r);
+            let mut ctx = Context {
+                local_round: r - self.wake_rounds[v] + 1,
+                n,
+                my_id: self.ids.id_of(NodeId(v)),
+                detector: det,
+                rng: &mut self.rngs[v],
+            };
+            match self.procs[v].decide(&mut ctx) {
+                Action::Idle => messages.push(None),
+                Action::Broadcast(m) => {
+                    let bits = m.bits();
+                    self.metrics.broadcasts += 1;
+                    self.metrics.bits_broadcast += bits;
+                    if let Some(b) = self.max_message_bits {
+                        if bits > b {
+                            self.metrics.oversize_messages += 1;
+                        }
+                    }
+                    broadcasting[v] = true;
+                    messages.push(Some(m));
+                }
+            }
+        }
+
+        // Phase 2: the adversary picks the round's unreliable reach edges.
+        self.scratch_extra.clear();
+        self.adversary
+            .extra_edges(r, &self.net, &broadcasting, &mut self.scratch_extra);
+        // Defensive filtering: keep only genuine unreliable edges, dedupe.
+        self.scratch_extra.retain(|&(u, v)| {
+            u < n && v < n && self.net.is_unreliable_edge(u, v)
+        });
+        for e in &mut self.scratch_extra {
+            if e.0 > e.1 {
+                *e = (e.1, e.0);
+            }
+        }
+        self.scratch_extra.sort_unstable();
+        self.scratch_extra.dedup();
+        let extra_count = self.scratch_extra.len() as u32;
+
+        // Per-listener extra reach: broadcasters connected by an activated
+        // unreliable edge.
+        let mut extra_from: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(u, v) in &self.scratch_extra {
+            if broadcasting[u] && !broadcasting[v] {
+                extra_from[v].push(u);
+            }
+            if broadcasting[v] && !broadcasting[u] {
+                extra_from[u].push(v);
+            }
+        }
+
+        // Phase 3: delivery. Exactly one reachable broadcaster => message;
+        // otherwise ⊥. Sleeping nodes neither broadcast nor receive.
+        let mut deliveries = 0u32;
+        let mut collisions = 0u32;
+        for v in 0..n {
+            if self.wake_rounds[v] > r || broadcasting[v] {
+                continue;
+            }
+            let mut reach = extra_from[v].len();
+            let mut the_one = extra_from[v].first().copied();
+            for &u in self.net.g().neighbors(v) {
+                if broadcasting[u] {
+                    reach += 1;
+                    if the_one.is_none() {
+                        the_one = Some(u);
+                    }
+                    if reach >= 2 {
+                        break;
+                    }
+                }
+            }
+            let delivered = if reach == 1 {
+                deliveries += 1;
+                the_one
+            } else {
+                if reach >= 2 {
+                    collisions += 1;
+                }
+                None
+            };
+            let det = self.detectors.set_at(NodeId(v), r);
+            let mut ctx = Context {
+                local_round: r - self.wake_rounds[v] + 1,
+                n,
+                my_id: self.ids.id_of(NodeId(v)),
+                detector: det,
+                rng: &mut self.rngs[v],
+            };
+            let msg = delivered.and_then(|u| messages[u].as_ref());
+            self.procs[v].receive(&mut ctx, msg);
+        }
+        self.metrics.deliveries += u64::from(deliveries);
+        self.metrics.collisions += u64::from(collisions);
+
+        // Bookkeeping: first round each process produced an output.
+        for v in 0..n {
+            if self.decided_round[v].is_none() && self.procs[v].output().is_some() {
+                self.decided_round[v] = Some(r);
+            }
+        }
+
+        if let Some(trace) = &mut self.trace {
+            trace.push(RoundRecord {
+                round: r,
+                broadcasters: broadcasting.iter().filter(|&&b| b).count() as u32,
+                deliveries,
+                collisions,
+                extra_edges: extra_count,
+            });
+        }
+    }
+
+    /// Runs until every process is done or `max_rounds` total rounds have
+    /// been executed.
+    pub fn run(&mut self, max_rounds: u64) -> RunOutcome {
+        self.run_until(max_rounds, |_| false)
+    }
+
+    /// Runs until every process is done, the predicate over the process
+    /// array returns true, or the budget is exhausted — whichever first.
+    pub fn run_until(
+        &mut self,
+        max_rounds: u64,
+        mut pred: impl FnMut(&[P]) -> bool,
+    ) -> RunOutcome {
+        loop {
+            if self.procs.iter().all(Process::is_done) {
+                return RunOutcome {
+                    rounds: self.round,
+                    stop: StopReason::AllDone,
+                };
+            }
+            if pred(&self.procs) {
+                return RunOutcome {
+                    rounds: self.round,
+                    stop: StopReason::Predicate,
+                };
+            }
+            if self.round >= max_rounds {
+                return RunOutcome {
+                    rounds: self.round,
+                    stop: StopReason::MaxRounds,
+                };
+            }
+            self.step();
+        }
+    }
+
+    /// Runs exactly `rounds` additional rounds (regardless of outputs).
+    pub fn run_rounds(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// The network being simulated.
+    pub fn net(&self) -> &DualGraph {
+        &self.net
+    }
+
+    /// The process-to-node assignment.
+    pub fn ids(&self) -> &IdAssignment {
+        &self.ids
+    }
+
+    /// The processes, indexed by node.
+    pub fn procs(&self) -> &[P] {
+        &self.procs
+    }
+
+    /// Mutable access to the processes (used by wrappers such as the
+    /// continuous CCDS that restart protocols between runs).
+    pub fn procs_mut(&mut self) -> &mut [P] {
+        &mut self.procs
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Aggregate execution counters.
+    pub fn metrics(&self) -> &ExecutionMetrics {
+        &self.metrics
+    }
+
+    /// The recorded trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Outputs by node (`None` while undecided).
+    pub fn outputs(&self) -> Vec<Option<bool>> {
+        self.procs.iter().map(Process::output).collect()
+    }
+
+    /// The first round at which node `v` had an output, if it has one.
+    pub fn decided_round(&self, v: NodeId) -> Option<u64> {
+        self.decided_round[v.index()]
+    }
+
+    /// Latest first-output round across nodes that have decided; `None` if
+    /// any node is still undecided.
+    pub fn all_decided_round(&self) -> Option<u64> {
+        self.decided_round.iter().copied().collect::<Option<Vec<_>>>()
+            .map(|v| v.into_iter().max().unwrap_or(0))
+    }
+
+    /// Per-node rounds-from-wake until first output (Section 9's complexity
+    /// measure); `None` for undecided nodes.
+    pub fn decided_latency(&self, v: NodeId) -> Option<u64> {
+        self.decided_round[v.index()].map(|r| r - self.wake_rounds[v.index()] + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// Broadcasts its id every round, never outputs.
+    struct Chatter;
+    impl Process for Chatter {
+        type Msg = u32;
+        fn decide(&mut self, ctx: &mut Context<'_>) -> Action<u32> {
+            Action::Broadcast(ctx.my_id.get())
+        }
+        fn receive(&mut self, _: &mut Context<'_>, _: Option<&u32>) {}
+        fn output(&self) -> Option<bool> {
+            None
+        }
+    }
+
+    /// Listens forever, recording what it hears.
+    struct Listener {
+        heard: Vec<Option<u32>>,
+    }
+    impl Process for Listener {
+        type Msg = u32;
+        fn decide(&mut self, _: &mut Context<'_>) -> Action<u32> {
+            Action::Idle
+        }
+        fn receive(&mut self, _: &mut Context<'_>, msg: Option<&u32>) {
+            self.heard.push(msg.copied());
+        }
+        fn output(&self) -> Option<bool> {
+            None
+        }
+    }
+
+    enum Node {
+        Chatter(Chatter),
+        Listener(Listener),
+    }
+    impl Process for Node {
+        type Msg = u32;
+        fn decide(&mut self, ctx: &mut Context<'_>) -> Action<u32> {
+            match self {
+                Node::Chatter(c) => c.decide(ctx),
+                Node::Listener(l) => l.decide(ctx),
+            }
+        }
+        fn receive(&mut self, ctx: &mut Context<'_>, msg: Option<&u32>) {
+            match self {
+                Node::Chatter(c) => c.receive(ctx, msg),
+                Node::Listener(l) => l.receive(ctx, msg),
+            }
+        }
+        fn output(&self) -> Option<bool> {
+            None
+        }
+    }
+
+    fn star_net() -> DualGraph {
+        // 0 is the hub; 1, 2, 3 are leaves. No unreliable edges.
+        DualGraph::classic(Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn single_broadcaster_delivers() {
+        let net = star_net();
+        let mut e = EngineBuilder::new(net)
+            .record_trace(true)
+            .spawn(|info| {
+                if info.node.index() == 1 {
+                    Node::Chatter(Chatter)
+                } else {
+                    Node::Listener(Listener { heard: Vec::new() })
+                }
+            })
+            .unwrap();
+        e.step();
+        // Node 0 (hub) hears node 1's message; nodes 2 and 3 are not
+        // adjacent to 1 and hear silence.
+        match &e.procs()[0] {
+            Node::Listener(l) => assert_eq!(l.heard, vec![Some(2)]), // process id of node 1
+            _ => panic!("node 0 should listen"),
+        }
+        match &e.procs()[2] {
+            Node::Listener(l) => assert_eq!(l.heard, vec![None]),
+            _ => panic!(),
+        }
+        assert_eq!(e.metrics().deliveries, 1);
+        assert_eq!(e.metrics().collisions, 0);
+        assert_eq!(e.trace().unwrap().rounds[0].broadcasters, 1);
+    }
+
+    #[test]
+    fn two_broadcasters_collide_at_hub() {
+        let net = star_net();
+        let mut e = EngineBuilder::new(net)
+            .spawn(|info| {
+                if info.node.index() == 1 || info.node.index() == 2 {
+                    Node::Chatter(Chatter)
+                } else {
+                    Node::Listener(Listener { heard: Vec::new() })
+                }
+            })
+            .unwrap();
+        e.step();
+        match &e.procs()[0] {
+            Node::Listener(l) => assert_eq!(l.heard, vec![None]),
+            _ => panic!(),
+        }
+        assert_eq!(e.metrics().collisions, 1);
+    }
+
+    #[test]
+    fn unreliable_edge_silent_under_reliable_only() {
+        // G: path 0-1; G' adds (0, 2)... need G connected over 3 nodes.
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let mut gp = g.clone();
+        gp.add_edge(0, 2);
+        let net = DualGraph::new(g, gp).unwrap();
+        let mut e = EngineBuilder::new(net)
+            .spawn(|info| {
+                if info.node.index() == 2 {
+                    Node::Chatter(Chatter)
+                } else {
+                    Node::Listener(Listener { heard: Vec::new() })
+                }
+            })
+            .unwrap();
+        e.step();
+        // Node 0 must not hear node 2 over the (inactive) unreliable edge.
+        match &e.procs()[0] {
+            Node::Listener(l) => assert_eq!(l.heard, vec![None]),
+            _ => panic!(),
+        }
+        // Node 1 hears node 2 over the reliable edge.
+        match &e.procs()[1] {
+            Node::Listener(l) => assert_eq!(l.heard, vec![Some(3)]),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn unreliable_edge_delivers_under_all_unreliable() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let mut gp = g.clone();
+        gp.add_edge(0, 2);
+        let net = DualGraph::new(g, gp).unwrap();
+        let mut e = EngineBuilder::new(net)
+            .adversary(crate::adversary::AllUnreliable)
+            .spawn(|info| {
+                if info.node.index() == 2 {
+                    Node::Chatter(Chatter)
+                } else {
+                    Node::Listener(Listener { heard: Vec::new() })
+                }
+            })
+            .unwrap();
+        e.step();
+        match &e.procs()[0] {
+            Node::Listener(l) => assert_eq!(l.heard, vec![Some(3)]),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn sleeping_nodes_neither_send_nor_receive() {
+        let net = star_net();
+        let mut e = EngineBuilder::new(net)
+            .wake_rounds(vec![1, 1, 3, 1])
+            .spawn(|info| {
+                if info.node.index() == 1 {
+                    Node::Chatter(Chatter)
+                } else {
+                    Node::Listener(Listener { heard: Vec::new() })
+                }
+            })
+            .unwrap();
+        e.run_rounds(2);
+        match &e.procs()[2] {
+            // Asleep for rounds 1-2: no receptions recorded.
+            Node::Listener(l) => assert!(l.heard.is_empty()),
+            _ => panic!(),
+        }
+        e.step();
+        match &e.procs()[2] {
+            // Awake from round 3; hears silence (not adjacent to node 1).
+            Node::Listener(l) => assert_eq!(l.heard.len(), 1),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn oversize_messages_counted() {
+        let net = star_net();
+        let mut e = EngineBuilder::new(net)
+            .max_message_bits(16)
+            .spawn(|info| {
+                if info.node.index() == 1 {
+                    Node::Chatter(Chatter) // u32 message: 32 bits > 16
+                } else {
+                    Node::Listener(Listener { heard: Vec::new() })
+                }
+            })
+            .unwrap();
+        e.step();
+        assert_eq!(e.metrics().oversize_messages, 1);
+    }
+
+    #[test]
+    fn builder_validation() {
+        let net = star_net();
+        let err = EngineBuilder::new(net)
+            .wake_rounds(vec![1, 2])
+            .spawn(|_| Node::Chatter(Chatter));
+        assert!(matches!(err.map(|_| ()), Err(EngineError::BadWakeRounds)));
+    }
+
+    #[test]
+    fn determinism_under_same_seed() {
+        // Random chatters: same seed => same trace.
+        struct Coin;
+        impl Process for Coin {
+            type Msg = u32;
+            fn decide(&mut self, ctx: &mut Context<'_>) -> Action<u32> {
+                if ctx.rng.gen_bool(0.5) {
+                    Action::Broadcast(ctx.my_id.get())
+                } else {
+                    Action::Idle
+                }
+            }
+            fn receive(&mut self, _: &mut Context<'_>, _: Option<&u32>) {}
+            fn output(&self) -> Option<bool> {
+                None
+            }
+        }
+        let run = |seed| {
+            let mut e = EngineBuilder::new(star_net())
+                .seed(seed)
+                .record_trace(true)
+                .spawn(|_| Coin)
+                .unwrap();
+            e.run_rounds(50);
+            e.trace().unwrap().clone()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+}

@@ -1,0 +1,87 @@
+//! CSV export for traces and metrics.
+//!
+//! The experiment harness emits JSON via serde; CSV is the convenient
+//! format for plotting round-by-round channel activity (broadcasters,
+//! deliveries, collisions) in external tools.
+
+use crate::trace::{ExecutionMetrics, Trace};
+use std::fmt::Write as _;
+
+/// Renders a [`Trace`] as CSV with a header row
+/// (`round,broadcasters,deliveries,collisions,extra_edges`).
+///
+/// # Examples
+///
+/// ```
+/// use radio_sim::{export::trace_to_csv, RoundRecord, Trace};
+/// let mut t = Trace::new();
+/// t.push(RoundRecord { round: 1, broadcasters: 2, deliveries: 1, collisions: 0, extra_edges: 3 });
+/// let csv = trace_to_csv(&t);
+/// assert!(csv.starts_with("round,broadcasters,deliveries,collisions,extra_edges\n"));
+/// assert!(csv.contains("1,2,1,0,3"));
+/// ```
+pub fn trace_to_csv(trace: &Trace) -> String {
+    let mut out = String::from("round,broadcasters,deliveries,collisions,extra_edges\n");
+    for r in &trace.rounds {
+        writeln!(
+            out,
+            "{},{},{},{},{}",
+            r.round, r.broadcasters, r.deliveries, r.collisions, r.extra_edges
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+/// Renders [`ExecutionMetrics`] as a one-row CSV (with header).
+pub fn metrics_to_csv(metrics: &ExecutionMetrics) -> String {
+    format!(
+        "rounds,broadcasts,deliveries,collisions,bits_broadcast,oversize_messages\n{},{},{},{},{},{}\n",
+        metrics.rounds,
+        metrics.broadcasts,
+        metrics.deliveries,
+        metrics.collisions,
+        metrics.bits_broadcast,
+        metrics.oversize_messages
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::RoundRecord;
+
+    #[test]
+    fn csv_shapes() {
+        let mut t = Trace::new();
+        for round in 1..=3 {
+            t.push(RoundRecord {
+                round,
+                broadcasters: round as u32,
+                deliveries: 0,
+                collisions: 1,
+                extra_edges: 0,
+            });
+        }
+        let csv = trace_to_csv(&t);
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.lines().nth(2).unwrap().starts_with("2,2,0,1,0"));
+
+        let m = ExecutionMetrics {
+            rounds: 9,
+            broadcasts: 8,
+            deliveries: 7,
+            collisions: 6,
+            bits_broadcast: 5,
+            oversize_messages: 0,
+        };
+        let mc = metrics_to_csv(&m);
+        assert_eq!(mc.lines().count(), 2);
+        assert!(mc.ends_with("9,8,7,6,5,0\n"));
+    }
+
+    #[test]
+    fn empty_trace_is_header_only() {
+        assert_eq!(trace_to_csv(&Trace::new()).lines().count(), 1);
+    }
+}

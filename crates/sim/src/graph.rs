@@ -1,0 +1,374 @@
+//! A compact undirected graph with sorted adjacency lists.
+//!
+//! Both layers of the dual graph (`G` and `G'`) and the detector-induced
+//! graph `H` are represented by [`Graph`]. The representation favors the
+//! access patterns of the simulator: neighbor iteration during delivery,
+//! membership tests during filtering, and whole-graph checks (connectivity,
+//! subgraph containment) during validation.
+
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Errors produced when constructing or validating a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint was `>= n`.
+    EndpointOutOfRange {
+        /// The offending endpoint.
+        endpoint: usize,
+        /// The number of vertices.
+        n: usize,
+    },
+    /// An edge connected a vertex to itself.
+    SelfLoop {
+        /// The vertex with the loop.
+        vertex: usize,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::EndpointOutOfRange { endpoint, n } => {
+                write!(f, "edge endpoint {endpoint} out of range for {n} vertices")
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self loop at vertex {vertex}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected simple graph on vertices `0..n`.
+///
+/// Adjacency lists are kept sorted, so membership tests are `O(log deg)` and
+/// neighbor iteration is cache-friendly. Parallel edges and self loops are
+/// rejected/ignored.
+///
+/// # Examples
+///
+/// ```
+/// use radio_sim::Graph;
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)])?;
+/// assert!(g.has_edge(1, 2));
+/// assert!(!g.has_edge(0, 3));
+/// assert!(g.is_connected());
+/// assert_eq!(g.max_degree(), 2);
+/// # Ok::<(), radio_sim::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<Vec<usize>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            n,
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// Duplicate edges are deduplicated silently (they are common when
+    /// generators enumerate unordered pairs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if an endpoint is out of range or an edge is a
+    /// self loop.
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<Self, GraphError> {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            g.try_add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Adds the undirected edge `{u, v}`; a no-op if already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `u == v`.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        self.try_add_edge(u, v)
+            .expect("invalid edge passed to add_edge");
+    }
+
+    /// Fallible form of [`Graph::add_edge`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if an endpoint is out of range or `u == v`.
+    pub fn try_add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        if u >= self.n {
+            return Err(GraphError::EndpointOutOfRange { endpoint: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::EndpointOutOfRange { endpoint: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        if Self::insert_sorted(&mut self.adj[u], v) {
+            Self::insert_sorted(&mut self.adj[v], u);
+            self.edge_count += 1;
+        }
+        Ok(())
+    }
+
+    fn insert_sorted(list: &mut Vec<usize>, x: usize) -> bool {
+        match list.binary_search(&x) {
+            Ok(_) => false,
+            Err(pos) => {
+                list.insert(pos, x);
+                true
+            }
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether the edge `{u, v}` is present. Out-of-range queries return
+    /// `false`.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.n && self.adj[u].binary_search(&v).is_ok()
+    }
+
+    /// The sorted neighbors of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n`.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// Degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Maximum degree over all vertices (`Δ` for `G`, `Δ'` for `G'`). Zero
+    /// for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterates all edges as ordered pairs `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, ns)| ns.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+    }
+
+    /// Whether the graph is connected (vacuously true for `n <= 1`).
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        let dist = self.bfs_distances(0);
+        dist.iter().all(Option::is_some)
+    }
+
+    /// BFS hop distances from `src`; `None` for unreachable vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src >= n`.
+    pub fn bfs_distances(&self, src: usize) -> Vec<Option<u32>> {
+        assert!(src < self.n, "bfs source out of range");
+        let mut dist = vec![None; self.n];
+        dist[src] = Some(0);
+        let mut queue = VecDeque::from([src]);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u].expect("queued vertices have distances");
+            for &v in &self.adj[u] {
+                if dist[v].is_none() {
+                    dist[v] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Whether every edge of `self` is also an edge of `other`.
+    ///
+    /// Used to validate the dual-graph requirement `E ⊆ E'`.
+    pub fn is_subgraph_of(&self, other: &Graph) -> bool {
+        self.n == other.n && self.edges().all(|(u, v)| other.has_edge(u, v))
+    }
+
+    /// Whether the subgraph induced by `{v : member[v]}` is connected.
+    ///
+    /// Vacuously true when at most one vertex is selected. Used by the CCDS
+    /// checker (connectivity of the processes that output 1, in `H`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member.len() != n`.
+    pub fn induced_connected(&self, member: &[bool]) -> bool {
+        assert_eq!(member.len(), self.n, "membership vector length mismatch");
+        let Some(start) = (0..self.n).find(|&v| member[v]) else {
+            return true;
+        };
+        let mut seen = vec![false; self.n];
+        seen[start] = true;
+        let mut queue = VecDeque::from([start]);
+        let mut reached = 1usize;
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adj[u] {
+                if member[v] && !seen[v] {
+                    seen[v] = true;
+                    reached += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        reached == member.iter().filter(|&&m| m).count()
+    }
+
+    /// Hop distance between `u` and `v` (`None` if disconnected).
+    pub fn hop_distance(&self, u: usize, v: usize) -> Option<u32> {
+        self.bfs_distances(u)[v]
+    }
+
+    /// Neighbors of `u` as [`NodeId`]s.
+    pub fn neighbor_ids(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[u.index()].iter().map(|&v| NodeId(v))
+    }
+
+    /// The complete graph on `n` vertices.
+    pub fn complete(n: usize) -> Self {
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// Union of two graphs on the same vertex set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if vertex counts differ.
+    pub fn union(&self, other: &Graph) -> Graph {
+        assert_eq!(self.n, other.n, "union requires equal vertex counts");
+        let mut g = self.clone();
+        for (u, v) in other.edges() {
+            g.add_edge(u, v);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 1)]).unwrap();
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        assert_eq!(
+            Graph::from_edges(3, [(0, 3)]),
+            Err(GraphError::EndpointOutOfRange { endpoint: 3, n: 3 })
+        );
+        assert_eq!(
+            Graph::from_edges(3, [(1, 1)]),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        );
+    }
+
+    #[test]
+    fn connectivity() {
+        let path = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(path.is_connected());
+        let split = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(!split.is_connected());
+        assert!(Graph::new(1).is_connected());
+        assert!(Graph::new(0).is_connected());
+    }
+
+    #[test]
+    fn bfs_and_hops() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let d = g.bfs_distances(0);
+        assert_eq!(d[3], Some(3));
+        assert_eq!(d[4], None);
+        assert_eq!(g.hop_distance(0, 2), Some(2));
+        assert_eq!(g.hop_distance(0, 4), None);
+    }
+
+    #[test]
+    fn subgraph_check() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2)]).unwrap();
+        let big = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(g.is_subgraph_of(&big));
+        assert!(!big.is_subgraph_of(&g));
+    }
+
+    #[test]
+    fn induced_connectivity() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert!(g.induced_connected(&[true, true, true, false, false]));
+        assert!(!g.induced_connected(&[true, false, true, false, false]));
+        assert!(g.induced_connected(&[false, false, false, false, false]));
+        assert!(g.induced_connected(&[false, false, true, false, false]));
+    }
+
+    #[test]
+    fn complete_and_union() {
+        let k4 = Graph::complete(4);
+        assert_eq!(k4.edge_count(), 6);
+        let path = Graph::from_edges(4, [(0, 1)]).unwrap();
+        let u = path.union(&k4);
+        assert_eq!(u.edge_count(), 6);
+    }
+
+    #[test]
+    fn edges_iterator_ordered() {
+        let g = Graph::from_edges(4, [(2, 1), (0, 3)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 3), (1, 2)]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Identifier newtypes for graph nodes and processes.
+//!
+//! The paper distinguishes between *nodes* (vertices of the dual graph,
+//! embedded in the plane) and *processes* (the automata of an algorithm,
+//! each with a unique identifier in `1..=n`). An execution fixes a bijection
+//! `proc` from processes to nodes, chosen by the adversary; see
+//! [`IdAssignment`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a vertex in the dual graph (`0..n`).
+///
+/// Node ids are positional: they index adjacency lists, position vectors and
+/// link-detector tables. They are *not* the identifiers processes use to name
+/// each other — those are [`ProcessId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use radio_sim::NodeId;
+/// let v = NodeId(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The underlying vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(i: usize) -> Self {
+        NodeId(i)
+    }
+}
+
+/// Unique process identifier, in `1..=n` as in the paper's model section.
+///
+/// Process ids appear in messages and link-detector sets. The value `0` is
+/// never a valid process id; constructors enforce this.
+///
+/// # Examples
+///
+/// ```
+/// use radio_sim::ProcessId;
+/// let p = ProcessId::new(1).unwrap();
+/// assert_eq!(p.get(), 1);
+/// assert!(ProcessId::new(0).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Creates a process id, returning `None` for the invalid value `0`.
+    #[inline]
+    pub fn new(id: u32) -> Option<Self> {
+        if id == 0 {
+            None
+        } else {
+            Some(ProcessId(id))
+        }
+    }
+
+    /// Creates a process id without checking that it is nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `id == 0`.
+    #[inline]
+    pub fn new_unchecked(id: u32) -> Self {
+        debug_assert!(id != 0, "process ids start at 1");
+        ProcessId(id)
+    }
+
+    /// The numeric identifier (`>= 1`).
+    #[inline]
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Zero-based index for dense tables keyed by process id.
+    #[inline]
+    pub fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// The bijection `proc` from processes to nodes (and back).
+///
+/// The paper lets an adversary pick which process runs at which node; all the
+/// algorithms must work for every assignment. [`IdAssignment::identity`] maps
+/// process `i+1` to node `i`; [`IdAssignment::random`] draws a uniformly
+/// random bijection; arbitrary permutations model adversarial placement.
+///
+/// # Examples
+///
+/// ```
+/// use radio_sim::{IdAssignment, NodeId, ProcessId};
+/// let a = IdAssignment::identity(4);
+/// assert_eq!(a.id_of(NodeId(2)), ProcessId::new(3).unwrap());
+/// assert_eq!(a.node_of(ProcessId::new(3).unwrap()), NodeId(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdAssignment {
+    /// `id_of[v]` = process id assigned to node `v` (value in `1..=n`).
+    id_of: Vec<u32>,
+    /// `node_of[i]` = node hosting process `i+1`.
+    node_of: Vec<usize>,
+}
+
+impl IdAssignment {
+    /// The identity assignment: process `i+1` runs at node `i`.
+    pub fn identity(n: usize) -> Self {
+        IdAssignment {
+            id_of: (1..=n as u32).collect(),
+            node_of: (0..n).collect(),
+        }
+    }
+
+    /// A uniformly random bijection drawn from `rng`.
+    pub fn random<R: rand::Rng>(n: usize, rng: &mut R) -> Self {
+        use rand::seq::SliceRandom;
+        let mut ids: Vec<u32> = (1..=n as u32).collect();
+        ids.shuffle(rng);
+        Self::from_ids(ids).expect("shuffled identity permutation is valid")
+    }
+
+    /// Builds an assignment from `id_of` (node index → process id).
+    ///
+    /// Returns `None` unless `id_of` is a permutation of `1..=n`.
+    pub fn from_ids(id_of: Vec<u32>) -> Option<Self> {
+        let n = id_of.len();
+        let mut node_of = vec![usize::MAX; n];
+        for (v, &id) in id_of.iter().enumerate() {
+            if id == 0 || id as usize > n {
+                return None;
+            }
+            let slot = &mut node_of[(id - 1) as usize];
+            if *slot != usize::MAX {
+                return None; // duplicate id
+            }
+            *slot = v;
+        }
+        Some(IdAssignment { id_of, node_of })
+    }
+
+    /// Number of processes/nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.id_of.len()
+    }
+
+    /// The process id assigned to node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn id_of(&self, v: NodeId) -> ProcessId {
+        ProcessId::new_unchecked(self.id_of[v.index()])
+    }
+
+    /// The node hosting process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[inline]
+    pub fn node_of(&self, p: ProcessId) -> NodeId {
+        NodeId(self.node_of[p.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_roundtrip() {
+        let a = IdAssignment::identity(5);
+        for v in 0..5 {
+            let p = a.id_of(NodeId(v));
+            assert_eq!(a.node_of(p), NodeId(v));
+            assert_eq!(p.get() as usize, v + 1);
+        }
+    }
+
+    #[test]
+    fn random_is_bijection() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = IdAssignment::random(64, &mut rng);
+        let mut seen = vec![false; 64];
+        for v in 0..64 {
+            let p = a.id_of(NodeId(v));
+            assert!(!seen[p.index()]);
+            seen[p.index()] = true;
+            assert_eq!(a.node_of(p), NodeId(v));
+        }
+    }
+
+    #[test]
+    fn from_ids_rejects_bad_permutations() {
+        assert!(IdAssignment::from_ids(vec![1, 1, 3]).is_none());
+        assert!(IdAssignment::from_ids(vec![0, 2, 3]).is_none());
+        assert!(IdAssignment::from_ids(vec![1, 2, 4]).is_none());
+        assert!(IdAssignment::from_ids(vec![3, 1, 2]).is_some());
+    }
+
+    #[test]
+    fn process_id_rejects_zero() {
+        assert!(ProcessId::new(0).is_none());
+        assert_eq!(ProcessId::new(9).unwrap().index(), 8);
+    }
+
+    #[test]
+    fn display_impls_nonempty() {
+        assert_eq!(NodeId(2).to_string(), "v2");
+        assert_eq!(ProcessId::new(2).unwrap().to_string(), "p2");
+    }
+}

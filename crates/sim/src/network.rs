@@ -1,0 +1,368 @@
+//! The dual graph network `(G, G')` of the paper's model section.
+//!
+//! A network consists of two undirected graphs on the same vertex set: `G =
+//! (V, E)` of *reliable* links (always deliver, absent collisions) and `G' =
+//! (V, E')` of *all* links (`E ⊆ E'`); the edges of `E' \ E` are
+//! *unreliable* and deliver only when the round's adversary places them in
+//! the reach set. `G` must be connected.
+//!
+//! When nodes carry a planar embedding, the model additionally requires a
+//! constant `d ≥ 1` such that `dist(u, v) ≤ 1 ⇒ (u, v) ∈ E` and `(u, v) ∈ E'
+//! ⇒ dist(u, v) ≤ d` — a generalization of unit disk graphs with a gray zone
+//! of unpredictable connectivity.
+
+use crate::geometry::Point;
+use crate::graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Errors from constructing or validating a [`DualGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// `E ⊄ E'`: some reliable edge is missing from the unreliable layer.
+    ReliableNotSubset {
+        /// A witness edge in `E \ E'`.
+        edge: (usize, usize),
+    },
+    /// The reliable graph `G` is disconnected (the model assumes connectivity).
+    ReliableDisconnected,
+    /// Vertex counts of the two layers differ.
+    LayerSizeMismatch {
+        /// `|V|` of `G`.
+        g: usize,
+        /// `|V|` of `G'`.
+        g_prime: usize,
+    },
+    /// The number of positions differs from the number of vertices.
+    PositionCountMismatch {
+        /// Number of positions provided.
+        positions: usize,
+        /// Number of vertices.
+        n: usize,
+    },
+    /// Two nodes are within distance 1 but not `E`-adjacent.
+    MissingShortEdge {
+        /// The offending pair.
+        pair: (usize, usize),
+        /// Their distance.
+        dist: f64,
+    },
+    /// An `E'` edge spans more than distance `d`.
+    EdgeTooLong {
+        /// The offending edge.
+        edge: (usize, usize),
+        /// Its length.
+        dist: f64,
+        /// The configured maximum `d`.
+        d: f64,
+    },
+    /// The gray-zone constant was invalid (`d < 1` or not finite).
+    InvalidGrayZone {
+        /// The provided constant.
+        d: f64,
+    },
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::ReliableNotSubset { edge } => {
+                write!(f, "reliable edge {edge:?} missing from G'")
+            }
+            NetworkError::ReliableDisconnected => write!(f, "reliable graph G is disconnected"),
+            NetworkError::LayerSizeMismatch { g, g_prime } => {
+                write!(f, "layer sizes differ: |V(G)| = {g}, |V(G')| = {g_prime}")
+            }
+            NetworkError::PositionCountMismatch { positions, n } => {
+                write!(f, "{positions} positions for {n} vertices")
+            }
+            NetworkError::MissingShortEdge { pair, dist } => {
+                write!(f, "nodes {pair:?} at distance {dist:.3} <= 1 lack a reliable edge")
+            }
+            NetworkError::EdgeTooLong { edge, dist, d } => {
+                write!(f, "edge {edge:?} has length {dist:.3} > d = {d}")
+            }
+            NetworkError::InvalidGrayZone { d } => write!(f, "invalid gray zone constant d = {d}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// A dual graph radio network `(G, G')`, optionally embedded in the plane.
+///
+/// # Examples
+///
+/// ```
+/// use radio_sim::{DualGraph, Graph};
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2)])?;
+/// let mut gp = g.clone();
+/// gp.add_edge(0, 2); // one unreliable link
+/// let net = DualGraph::new(g, gp)?;
+/// assert_eq!(net.n(), 3);
+/// assert!(net.is_unreliable_edge(0, 2));
+/// assert!(!net.is_unreliable_edge(0, 1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DualGraph {
+    g: Graph,
+    g_prime: Graph,
+    positions: Option<Vec<Point>>,
+    d: f64,
+}
+
+impl DualGraph {
+    /// Builds a dual graph without an embedding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] if the layers have different vertex counts,
+    /// `E ⊄ E'`, or `G` is disconnected.
+    pub fn new(g: Graph, g_prime: Graph) -> Result<Self, NetworkError> {
+        Self::validate_layers(&g, &g_prime)?;
+        Ok(DualGraph {
+            g,
+            g_prime,
+            positions: None,
+            d: 1.0,
+        })
+    }
+
+    /// Builds an embedded dual graph and checks the geometric constraints:
+    /// every pair within distance 1 is `E`-adjacent, and every `E'` edge has
+    /// length at most `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] on any violated model constraint.
+    pub fn with_embedding(
+        g: Graph,
+        g_prime: Graph,
+        positions: Vec<Point>,
+        d: f64,
+    ) -> Result<Self, NetworkError> {
+        if !(d.is_finite() && d >= 1.0) {
+            return Err(NetworkError::InvalidGrayZone { d });
+        }
+        Self::validate_layers(&g, &g_prime)?;
+        if positions.len() != g.n() {
+            return Err(NetworkError::PositionCountMismatch {
+                positions: positions.len(),
+                n: g.n(),
+            });
+        }
+        for u in 0..g.n() {
+            for v in (u + 1)..g.n() {
+                let dist = positions[u].dist(positions[v]);
+                if dist <= 1.0 && !g.has_edge(u, v) {
+                    return Err(NetworkError::MissingShortEdge { pair: (u, v), dist });
+                }
+            }
+        }
+        for (u, v) in g_prime.edges() {
+            let dist = positions[u].dist(positions[v]);
+            if dist > d + 1e-9 {
+                return Err(NetworkError::EdgeTooLong { edge: (u, v), dist, d });
+            }
+        }
+        Ok(DualGraph {
+            g,
+            g_prime,
+            positions: Some(positions),
+            d,
+        })
+    }
+
+    /// The classic radio network model: `G = G'` (no unreliable links).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::ReliableDisconnected`] if `g` is disconnected.
+    pub fn classic(g: Graph) -> Result<Self, NetworkError> {
+        let gp = g.clone();
+        Self::new(g, gp)
+    }
+
+    fn validate_layers(g: &Graph, g_prime: &Graph) -> Result<(), NetworkError> {
+        if g.n() != g_prime.n() {
+            return Err(NetworkError::LayerSizeMismatch {
+                g: g.n(),
+                g_prime: g_prime.n(),
+            });
+        }
+        if let Some(edge) = g.edges().find(|&(u, v)| !g_prime.has_edge(u, v)) {
+            return Err(NetworkError::ReliableNotSubset { edge });
+        }
+        if !g.is_connected() {
+            return Err(NetworkError::ReliableDisconnected);
+        }
+        Ok(())
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.g.n()
+    }
+
+    /// The reliable layer `G`.
+    #[inline]
+    pub fn g(&self) -> &Graph {
+        &self.g
+    }
+
+    /// The full layer `G'` (reliable plus unreliable links).
+    #[inline]
+    pub fn g_prime(&self) -> &Graph {
+        &self.g_prime
+    }
+
+    /// Maximum degree `Δ` in the reliable graph.
+    #[inline]
+    pub fn max_degree_g(&self) -> usize {
+        self.g.max_degree()
+    }
+
+    /// Maximum degree `Δ'` in `G'`.
+    #[inline]
+    pub fn max_degree_g_prime(&self) -> usize {
+        self.g_prime.max_degree()
+    }
+
+    /// Whether `{u, v}` is an unreliable link (in `E' \ E`).
+    #[inline]
+    pub fn is_unreliable_edge(&self, u: usize, v: usize) -> bool {
+        self.g_prime.has_edge(u, v) && !self.g.has_edge(u, v)
+    }
+
+    /// Iterates the unreliable edges `E' \ E` as pairs with `u < v`.
+    pub fn unreliable_edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.g_prime
+            .edges()
+            .filter(move |&(u, v)| !self.g.has_edge(u, v))
+    }
+
+    /// Number of unreliable edges.
+    pub fn unreliable_edge_count(&self) -> usize {
+        self.g_prime.edge_count() - self.g.edge_count()
+    }
+
+    /// Node positions if the network is embedded.
+    #[inline]
+    pub fn positions(&self) -> Option<&[Point]> {
+        self.positions.as_deref()
+    }
+
+    /// The gray-zone constant `d` (only meaningful for embedded networks;
+    /// `1.0` otherwise).
+    #[inline]
+    pub fn gray_zone(&self) -> f64 {
+        self.d
+    }
+
+    /// Whether the network is the classic model (`G = G'`).
+    pub fn is_classic(&self) -> bool {
+        self.unreliable_edge_count() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn valid_dual_graph() {
+        let g = path(4);
+        let mut gp = g.clone();
+        gp.add_edge(0, 3);
+        let net = DualGraph::new(g, gp).unwrap();
+        assert_eq!(net.unreliable_edge_count(), 1);
+        assert!(net.is_unreliable_edge(0, 3));
+        assert_eq!(net.unreliable_edges().collect::<Vec<_>>(), vec![(0, 3)]);
+        assert!(!net.is_classic());
+    }
+
+    #[test]
+    fn rejects_non_subset() {
+        let g = path(3);
+        let gp = Graph::from_edges(3, [(0, 1), (0, 2)]).unwrap();
+        assert_eq!(
+            DualGraph::new(g, gp).unwrap_err(),
+            NetworkError::ReliableNotSubset { edge: (1, 2) }
+        );
+    }
+
+    #[test]
+    fn rejects_disconnected_g() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let gp = Graph::complete(4);
+        assert_eq!(
+            DualGraph::new(g, gp).unwrap_err(),
+            NetworkError::ReliableDisconnected
+        );
+    }
+
+    #[test]
+    fn rejects_size_mismatch() {
+        let g = path(3);
+        let gp = Graph::complete(4);
+        assert!(matches!(
+            DualGraph::new(g, gp),
+            Err(NetworkError::LayerSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn classic_has_no_unreliable_edges() {
+        let net = DualGraph::classic(path(5)).unwrap();
+        assert!(net.is_classic());
+        assert_eq!(net.unreliable_edge_count(), 0);
+    }
+
+    #[test]
+    fn embedding_constraints() {
+        // Two nodes at distance 0.5 must share a reliable edge.
+        let g = Graph::new(2);
+        let gp = Graph::new(2);
+        let pos = vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0)];
+        // g is "connected" only for n<=1; a 2-node edgeless graph is
+        // disconnected, so that error fires first — use an edge in G' only.
+        let err = DualGraph::with_embedding(g, gp, pos, 2.0).unwrap_err();
+        assert_eq!(err, NetworkError::ReliableDisconnected);
+
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let gp = g.clone();
+        let pos = vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0)];
+        let err = DualGraph::with_embedding(g, gp, pos, 2.0).unwrap_err();
+        assert!(matches!(err, NetworkError::EdgeTooLong { .. }));
+    }
+
+    #[test]
+    fn embedding_missing_short_edge() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let gp = g.clone();
+        // Nodes 0 and 2 are within distance 1 but not adjacent in G.
+        let pos = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.5, 0.5),
+            Point::new(0.9, 0.0),
+        ];
+        let err = DualGraph::with_embedding(g, gp, pos, 2.0).unwrap_err();
+        assert!(matches!(err, NetworkError::MissingShortEdge { .. }));
+    }
+
+    #[test]
+    fn rejects_invalid_gray_zone() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let gp = g.clone();
+        let pos = vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0)];
+        assert!(matches!(
+            DualGraph::with_embedding(g, gp, pos, 0.5),
+            Err(NetworkError::InvalidGrayZone { .. })
+        ));
+    }
+}

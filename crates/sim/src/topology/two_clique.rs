@@ -1,0 +1,232 @@
+//! The two-clique bridge network of Lemma 7.2.
+//!
+//! `G` consists of two cliques of size β connected by a single *bridge*
+//! edge; `G'` is the complete graph. With 1-complete link detectors whose
+//! one spurious entry points every node at the opposite clique's bridge
+//! endpoint, a CCDS algorithm cannot move information between the cliques
+//! until a bridge endpoint broadcasts *alone* — which is the event the
+//! hitting-game reduction counts. This module builds the network, the
+//! embedding that witnesses its geometric validity, and the adversarial
+//! detector assignment from the proof.
+
+use crate::detector::LinkDetectorAssignment;
+use crate::geometry::Point;
+use crate::graph::Graph;
+use crate::ids::{IdAssignment, NodeId};
+use crate::network::DualGraph;
+use std::collections::BTreeSet;
+
+/// The Lemma 7.2 reduction network: two β-cliques joined by one bridge.
+///
+/// Nodes `0..β` form clique A, nodes `β..2β` form clique B. The bridge
+/// connects `bridge_a ∈ A` to `bridge_b ∈ B`.
+///
+/// # Examples
+///
+/// ```
+/// use radio_sim::topology::TwoClique;
+/// let tc = TwoClique::new(4, 0, 0)?;
+/// let net = tc.network();
+/// assert_eq!(net.n(), 8);
+/// // Exactly one reliable edge crosses the cliques.
+/// let cross = net.g().edges().filter(|&(u, v)| (u < 4) != (v < 4)).count();
+/// assert_eq!(cross, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoClique {
+    beta: usize,
+    bridge_a: usize,
+    bridge_b: usize,
+    net: DualGraph,
+}
+
+/// Error building a [`TwoClique`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TwoCliqueError {
+    /// β must be at least 2 for the construction to be meaningful.
+    BetaTooSmall,
+    /// A bridge endpoint index was `>= β`.
+    BridgeOutOfRange,
+}
+
+impl std::fmt::Display for TwoCliqueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TwoCliqueError::BetaTooSmall => write!(f, "two-clique network needs beta >= 2"),
+            TwoCliqueError::BridgeOutOfRange => write!(f, "bridge endpoint index must be < beta"),
+        }
+    }
+}
+
+impl std::error::Error for TwoCliqueError {}
+
+impl TwoClique {
+    /// Builds the network with cliques of size `beta`; the bridge joins the
+    /// `bridge_a`-th node of clique A to the `bridge_b`-th node of clique B
+    /// (both indices local to their clique, in `0..beta`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TwoCliqueError`] for `beta < 2` or out-of-range endpoints.
+    pub fn new(beta: usize, bridge_a: usize, bridge_b: usize) -> Result<Self, TwoCliqueError> {
+        if beta < 2 {
+            return Err(TwoCliqueError::BetaTooSmall);
+        }
+        if bridge_a >= beta || bridge_b >= beta {
+            return Err(TwoCliqueError::BridgeOutOfRange);
+        }
+        let n = 2 * beta;
+        let mut g = Graph::new(n);
+        for u in 0..beta {
+            for v in (u + 1)..beta {
+                g.add_edge(u, v);
+                g.add_edge(beta + u, beta + v);
+            }
+        }
+        let a = bridge_a;
+        let b = beta + bridge_b;
+        g.add_edge(a, b);
+        let gp = Graph::complete(n);
+
+        // Embedding witnessing model validity: clique A packed in a disk of
+        // radius 0.4 at the origin, clique B likewise at (2, 0). All
+        // intra-clique distances are <= 0.8 <= 1 (consistent with the
+        // complete E inside cliques); all cross distances are >= 1.2 > 1 (so
+        // no E edge is *forced* across, and the bridge is a legitimate
+        // choice); all distances are <= 2.8 <= d = 3 (so the complete E' is
+        // legal).
+        let positions = Self::positions(beta);
+        let net = DualGraph::with_embedding(g, gp, positions, 3.0)
+            .expect("two-clique construction satisfies the geometric model");
+        Ok(TwoClique {
+            beta,
+            bridge_a: a,
+            bridge_b: b,
+            net,
+        })
+    }
+
+    fn positions(beta: usize) -> Vec<Point> {
+        // Sunflower layout inside a radius-0.4 disk.
+        let golden = std::f64::consts::PI * (3.0 - 5.0_f64.sqrt());
+        let disk = |center_x: f64, i: usize| {
+            let r = 0.4 * ((i as f64 + 0.5) / beta as f64).sqrt();
+            let theta = golden * i as f64;
+            Point::new(center_x + r * theta.cos(), r * theta.sin())
+        };
+        let mut pts: Vec<Point> = (0..beta).map(|i| disk(0.0, i)).collect();
+        pts.extend((0..beta).map(|i| disk(2.0, i)));
+        pts
+    }
+
+    /// The assembled dual graph.
+    pub fn network(&self) -> &DualGraph {
+        &self.net
+    }
+
+    /// Consumes the builder, returning the dual graph.
+    pub fn into_network(self) -> DualGraph {
+        self.net
+    }
+
+    /// Clique size β (so `Δ = β`: bridge endpoints have β−1 clique
+    /// neighbors plus the bridge).
+    pub fn beta(&self) -> usize {
+        self.beta
+    }
+
+    /// Global node index of the bridge endpoint in clique A.
+    pub fn bridge_a(&self) -> NodeId {
+        NodeId(self.bridge_a)
+    }
+
+    /// Global node index of the bridge endpoint in clique B.
+    pub fn bridge_b(&self) -> NodeId {
+        NodeId(self.bridge_b)
+    }
+
+    /// Whether a node belongs to clique A.
+    pub fn in_clique_a(&self, v: NodeId) -> bool {
+        v.index() < self.beta
+    }
+
+    /// The 1-complete detector assignment from the Lemma 7.2 proof: every
+    /// clique-A node's set holds the ids of all of clique A plus the id of
+    /// clique B's bridge endpoint (and symmetrically for clique B). For the
+    /// actual bridge endpoints the extra id names a true `G`-neighbor; for
+    /// everyone else it is the single permitted misclassification.
+    pub fn proof_detectors(&self, ids: &IdAssignment) -> LinkDetectorAssignment {
+        let n = self.net.n();
+        let id_of = |v: usize| ids.id_of(NodeId(v)).get();
+        let a_ids: BTreeSet<u32> = (0..self.beta).map(id_of).collect();
+        let b_ids: BTreeSet<u32> = (self.beta..n).map(id_of).collect();
+        let sets = (0..n)
+            .map(|v| {
+                let mut s = if v < self.beta { a_ids.clone() } else { b_ids.clone() };
+                s.remove(&id_of(v)); // never contains the node's own id
+                if v < self.beta {
+                    s.insert(id_of(self.bridge_b));
+                } else {
+                    s.insert(id_of(self.bridge_a));
+                }
+                s
+            })
+            .collect();
+        LinkDetectorAssignment::from_sets(sets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_is_correct() {
+        let tc = TwoClique::new(5, 2, 3).unwrap();
+        let net = tc.network();
+        assert_eq!(net.n(), 10);
+        // Cliques are complete in G.
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                assert!(net.g().has_edge(u, v));
+                assert!(net.g().has_edge(5 + u, 5 + v));
+            }
+        }
+        // Exactly one cross edge: the bridge (2, 8).
+        let cross: Vec<_> = net.g().edges().filter(|&(u, v)| (u < 5) != (v < 5)).collect();
+        assert_eq!(cross, vec![(2, 8)]);
+        assert_eq!(tc.bridge_a(), NodeId(2));
+        assert_eq!(tc.bridge_b(), NodeId(8));
+        // G' is complete.
+        assert_eq!(net.g_prime().edge_count(), 10 * 9 / 2);
+    }
+
+    #[test]
+    fn delta_is_beta() {
+        let tc = TwoClique::new(6, 0, 0).unwrap();
+        assert_eq!(tc.network().max_degree_g(), 6);
+    }
+
+    #[test]
+    fn proof_detectors_are_one_complete() {
+        let tc = TwoClique::new(5, 1, 4).unwrap();
+        let ids = IdAssignment::identity(10);
+        let det = tc.proof_detectors(&ids);
+        assert!(det.is_tau_complete(tc.network(), &ids, 1));
+        assert!(!det.is_tau_complete(tc.network(), &ids, 0));
+        // H equals G: the spurious entries are one-sided except at the
+        // bridge, where they are real neighbors anyway.
+        let h = det.h_graph(&ids);
+        assert_eq!(&h, tc.network().g());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert_eq!(TwoClique::new(1, 0, 0).unwrap_err(), TwoCliqueError::BetaTooSmall);
+        assert_eq!(
+            TwoClique::new(3, 3, 0).unwrap_err(),
+            TwoCliqueError::BridgeOutOfRange
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Execution traces and aggregate metrics.
+//!
+//! The engine always keeps cheap aggregate counters ([`ExecutionMetrics`]);
+//! optionally it records a per-round [`Trace`] for debugging and for the
+//! experiment harness's CSV/JSON exports.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-round record of channel activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Global round number (first round is 1).
+    pub round: u64,
+    /// Number of nodes that broadcast.
+    pub broadcasters: u32,
+    /// Number of listeners that received a message.
+    pub deliveries: u32,
+    /// Number of listeners that experienced a collision (≥ 2 reachable
+    /// broadcasters). Note processes themselves cannot see this — there is
+    /// no collision detection; the trace is a referee-side view.
+    pub collisions: u32,
+    /// Number of unreliable edges the adversary activated.
+    pub extra_edges: u32,
+}
+
+/// A sequence of per-round records.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Records in round order.
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: RoundRecord) {
+        self.rounds.push(record);
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether no rounds were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Serializes the trace to a JSON string (one object with a `rounds`
+    /// array), for offline analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] if serialization fails (practically
+    /// impossible for this plain data type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+}
+
+/// Aggregate execution counters, always collected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionMetrics {
+    /// Rounds executed so far.
+    pub rounds: u64,
+    /// Total broadcast actions.
+    pub broadcasts: u64,
+    /// Total successful deliveries (listener received a message).
+    pub deliveries: u64,
+    /// Total listener-side collisions.
+    pub collisions: u64,
+    /// Total bits across all broadcast messages.
+    pub bits_broadcast: u64,
+    /// Messages exceeding the configured bound `b` (should be 0 for a
+    /// correctly chunking algorithm).
+    pub oversize_messages: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_roundtrips_json() {
+        let mut t = Trace::new();
+        t.push(RoundRecord {
+            round: 1,
+            broadcasters: 2,
+            deliveries: 1,
+            collisions: 1,
+            extra_edges: 0,
+        });
+        let s = t.to_json().unwrap();
+        let back: Trace = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.len(), 1);
+        assert!(!back.is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! The Ω(Δ) lower bound (Section 7), demonstrated end to end.
+//!
+//! 1. The β-single hitting game needs ≈ (β+1)/2 rounds in expectation.
+//! 2. Any CCDS algorithm on the two-clique network can be recast as two
+//!    hitting-game players (Lemma 7.2) — we do exactly that with the
+//!    Section 6 algorithm and watch the game get solved.
+//! 3. On the *real* simulator, the Section 6 algorithm under the
+//!    clique-isolating adversary takes time growing with Δ = β.
+//!
+//! ```text
+//! cargo run -p radio-bench --example lower_bound_game --release
+//! ```
+
+use hitting_games::{
+    expected_rounds_floor, mean_hitting_time, play_double, run_two_clique, CliquePlayer,
+    CliqueRole, UniformNoReplacement,
+};
+use radio_structures::{TauCcds, TauConfig};
+
+fn main() {
+    // (1) The single hitting game floor.
+    println!("single hitting game (optimal strategy vs floor):");
+    for beta in [16u32, 64, 256] {
+        let mean = mean_hitting_time(beta, 300, 1, |s| {
+            Box::new(UniformNoReplacement::new(beta, s))
+        });
+        println!(
+            "  beta = {beta:>4}: mean = {mean:>7.1} rounds, floor (beta+1)/2 = {:>6.1}",
+            expected_rounds_floor(beta)
+        );
+    }
+
+    // (2) Lemma 7.2: our τ = 1 CCDS algorithm, simulated as two game players.
+    let beta = 6u32;
+    let (t_a, t_b) = (3u32, 5u32);
+    let cfg = TauConfig::new(2 * beta as usize, beta as usize, 1);
+    let make = |role, other, seed| -> CliquePlayer<TauCcds> {
+        CliquePlayer::new(role, beta, other, seed, move |pid, _det, _n| {
+            TauCcds::new(&cfg, pid)
+        })
+    };
+    let mut pa = make(CliqueRole::A, t_b, 11);
+    let mut pb = make(CliqueRole::B, t_a, 12);
+    let out = play_double(beta, t_a, t_b, &mut pa, &mut pb, cfg.schedule().total + 64);
+    println!(
+        "\nLemma 7.2 reduction: targets ({t_a}, {t_b}) solved at round {:?} by player {}",
+        out.solved_at,
+        if out.solved_by_a { "A" } else { "B" }
+    );
+    assert!(out.solved_at.is_some());
+
+    // (3) The real network: rounds grow with Δ = β.
+    println!("\ntwo-clique network under the clique-isolating adversary:");
+    for beta in [4usize, 8, 12] {
+        let run = run_two_clique(beta, 0, 1, 21);
+        println!(
+            "  Δ = {beta:>2}: solved at {:?} (schedule {}), bridge joined at {:?}, valid CCDS = {}",
+            run.solve_round,
+            run.schedule_total,
+            run.bridge_round,
+            run.report.terminated && run.report.connected && run.report.dominating
+        );
+    }
+    println!("\nlower_bound_game OK");
+}

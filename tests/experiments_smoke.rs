@@ -1,0 +1,62 @@
+//! Smoke tests for the experiment harness: every experiment must run at
+//! quick scale and produce well-formed, non-empty tables whose validity
+//! columns (where present) are all `true`. This is the CI-level guarantee
+//! that `EXPERIMENTS.md` is regenerable.
+
+use radio_bench::{run_experiment, ALL_EXPERIMENTS};
+
+#[test]
+fn every_experiment_runs_quick_and_is_well_formed() {
+    for id in ALL_EXPERIMENTS {
+        let tables = run_experiment(id, true);
+        assert!(!tables.is_empty(), "{id} produced no tables");
+        for t in &tables {
+            assert!(!t.rows.is_empty(), "{id}/{} has no rows", t.id);
+            for row in &t.rows {
+                assert_eq!(row.len(), t.header.len(), "{id}/{} row arity", t.id);
+            }
+            // Rendering is total and includes every row.
+            let rendered = t.render();
+            assert!(rendered.contains(&t.id));
+            assert_eq!(
+                rendered.lines().count(),
+                t.rows.len() + 4, // caption + blank + header + separator
+                "{id}/{} rendering shape",
+                t.id
+            );
+        }
+    }
+}
+
+#[test]
+fn validity_columns_are_all_true_at_quick_scale() {
+    for id in ALL_EXPERIMENTS {
+        for t in run_experiment(id, true) {
+            let Some(col) = t
+                .header
+                .iter()
+                .position(|h| h == "valid" || h == "within bound" || h == "banned valid")
+            else {
+                continue;
+            };
+            for row in &t.rows {
+                let cell = &row[col];
+                // Either a boolean or a "passed/total" fraction.
+                let ok = cell == "true"
+                    || cell
+                        .split_once('/')
+                        .is_some_and(|(passed, total)| passed == total);
+                assert!(ok, "{id}/{}: row {row:?} failed validity", t.id);
+            }
+        }
+    }
+}
+
+#[test]
+fn tables_serialize_to_json() {
+    for t in run_experiment("e2", true) {
+        let json = serde_json::to_string(&t).expect("tables are serializable");
+        let back: radio_bench::Table = serde_json::from_str(&json).expect("roundtrip");
+        assert_eq!(back, t);
+    }
+}
