@@ -76,7 +76,7 @@ pub fn greedy_cds(g: &Graph) -> Vec<bool> {
                 if dist[v] == u32::MAX {
                     dist[v] = dist[u] + 1;
                     parent[v] = u;
-                    if comp[v].map_or(false, |c| c != 0) {
+                    if comp[v].is_some_and(|c| c != 0) {
                         join = Some(v);
                         break 'bfs;
                     }

@@ -2,13 +2,13 @@
 //! at matched density.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use radio_baselines::NaiveCcdsConfig;
 use radio_sim::topology::{grid, GridConfig};
 use radio_sim::EngineBuilder;
 use radio_structures::runner::{run_ccds, AdversaryKind};
 use radio_structures::CcdsConfig;
-use radio_baselines::NaiveCcdsConfig;
 use rand::SeedableRng;
+use std::time::Duration;
 
 fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_ablation");

@@ -2,7 +2,6 @@
 //! baselines (Decay vs round robin) in the dual graph.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use radio_baselines::{DecayBroadcast, RoundRobinBroadcast};
 use radio_sim::adversary::Collider;
 use radio_sim::topology::{random_geometric, RandomGeometricConfig};
@@ -10,6 +9,7 @@ use radio_sim::{DualGraph, EngineBuilder, Graph};
 use radio_structures::params::MisParams;
 use radio_structures::runner::{run_mis, AdversaryKind};
 use rand::SeedableRng;
+use std::time::Duration;
 
 fn bench_mis_under_adversaries(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9a_mis_adversaries");
@@ -77,5 +77,9 @@ fn bench_broadcast_baselines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mis_under_adversaries, bench_broadcast_baselines);
+criterion_group!(
+    benches,
+    bench_mis_under_adversaries,
+    bench_broadcast_baselines
+);
 criterion_main!(benches);

@@ -1,11 +1,11 @@
 //! E7 bench: asynchronous-start MIS (Section 9) with staggered wake-ups.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use radio_sim::topology::{random_geometric, RandomGeometricConfig};
 use radio_sim::EngineBuilder;
 use radio_structures::{AsyncFilter, AsyncMis, AsyncMisParams};
 use rand::SeedableRng;
+use std::time::Duration;
 
 fn bench_async_mis(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_async_mis");

@@ -1,11 +1,11 @@
 //! E3 bench: CCDS (Section 5) executions across the `Δ`/`b` trade-off.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use radio_sim::topology::{random_geometric, RandomGeometricConfig};
 use radio_structures::runner::{run_ccds, AdversaryKind};
 use radio_structures::CcdsConfig;
 use rand::SeedableRng;
+use std::time::Duration;
 
 fn bench_ccds_message_bound(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_ccds_b_sweep");
@@ -40,8 +40,11 @@ fn bench_ccds_density(c: &mut Criterion) {
     let n = 48usize;
     for deg in [8.0f64, 16.0] {
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let net = random_geometric(&RandomGeometricConfig::with_expected_degree(n, deg), &mut rng)
-            .expect("configuration connects");
+        let net = random_geometric(
+            &RandomGeometricConfig::with_expected_degree(n, deg),
+            &mut rng,
+        )
+        .expect("configuration connects");
         let cfg = CcdsConfig::new(n, net.max_degree_g(), 64);
         group.bench_with_input(
             BenchmarkId::new("target_degree", deg as u64),

@@ -1,0 +1,38 @@
+//! Engine micro-benchmark: `Engine::step()` on the canonical topologies
+//! (clique / random-geometric / sparse-with-chords), plus the seed
+//! implementation (`step_legacy`) for a same-binary baseline. The
+//! machine-readable counterpart is the `bench_engine` binary, which writes
+//! `BENCH_engine.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use radio_bench::enginebench::{workload_engine, WORKLOADS};
+use std::time::Duration;
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_step");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(20);
+    for name in WORKLOADS {
+        let mut engine = workload_engine(name);
+        engine.run_rounds(64); // amortize scratch capacity growth
+        group.bench_with_input(BenchmarkId::new("scratch", name), &name, |b, _| {
+            b.iter(|| {
+                engine.step();
+                engine.round()
+            });
+        });
+        let mut engine = workload_engine(name);
+        engine.run_rounds(64);
+        group.bench_with_input(BenchmarkId::new("legacy", name), &name, |b, _| {
+            b.iter(|| {
+                engine.step_legacy();
+                engine.round()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

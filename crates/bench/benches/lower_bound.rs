@@ -2,8 +2,8 @@
 //! reduction network.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use hitting_games::{mean_hitting_time, run_two_clique, UniformNoReplacement};
+use std::time::Duration;
 
 fn bench_single_game(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5a_single_hitting_game");

@@ -3,11 +3,11 @@
 //! tables come from the `experiments` binary.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use radio_sim::topology::{random_geometric, RandomGeometricConfig};
 use radio_structures::params::MisParams;
 use radio_structures::runner::{run_mis, AdversaryKind};
 use rand::SeedableRng;
+use std::time::Duration;
 
 fn bench_mis_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_mis");
@@ -22,7 +22,12 @@ fn bench_mis_scaling(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let run = run_mis(&net, MisParams::default(), AdversaryKind::Random { p: 0.5 }, seed);
+                let run = run_mis(
+                    &net,
+                    MisParams::default(),
+                    AdversaryKind::Random { p: 0.5 },
+                    seed,
+                );
                 assert!(run.report.terminated);
                 run.solve_round
             });

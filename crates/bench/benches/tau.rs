@@ -1,12 +1,12 @@
 //! E4 bench: τ-complete CCDS (Section 6) across τ and density.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use radio_sim::topology::{random_geometric, RandomGeometricConfig};
 use radio_sim::{IdAssignment, LinkDetectorAssignment, SpuriousSource};
 use radio_structures::runner::{run_tau_ccds, AdversaryKind};
 use radio_structures::TauConfig;
 use rand::SeedableRng;
+use std::time::Duration;
 
 fn bench_tau_ccds(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_tau_ccds");

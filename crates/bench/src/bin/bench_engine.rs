@@ -1,0 +1,115 @@
+//! Generates `BENCH_engine.json`: engine rounds/sec, wall time, and
+//! steady-state allocations per round, for the scratch engine and the seed
+//! (`step_legacy`) baseline, on the canonical workloads.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_engine            # full measurement (50k rounds per workload)
+//! bench_engine --quick    # smoke scale for CI (2k rounds)
+//! bench_engine --out PATH # write the JSON somewhere else
+//! ```
+//!
+//! The binary installs a counting global allocator, so the reported
+//! `allocs_per_round` is exact: the scratch engine must report 0.0 in
+//! steady state (the zero-allocation acceptance criterion), while the
+//! legacy engine reports its per-round buffer churn.
+
+use radio_bench::enginebench::run_engine_bench;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper counting allocations and requested bytes.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`, only adding relaxed counter
+// bumps on the allocation paths.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn counters() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_engine.json", String::as_str);
+    let rounds = if quick { 2_000 } else { 50_000 };
+
+    eprintln!("measuring {rounds} rounds per workload per engine...");
+    let report = run_engine_bench(rounds, Some(&counters));
+
+    println!(
+        "{:<12} {:>4} {:>8} {:>14} {:>14} {:>9} {:>13}",
+        "workload", "n", "engine", "rounds/sec", "wall s", "speedup", "allocs/round"
+    );
+    for w in &report.workloads {
+        for m in &w.engines {
+            println!(
+                "{:<12} {:>4} {:>8} {:>14.0} {:>14.4} {:>9} {:>13}",
+                w.name,
+                w.n,
+                m.engine,
+                m.rounds_per_sec,
+                m.wall_s,
+                if m.engine == "scratch" {
+                    format!("{:.2}x", w.speedup)
+                } else {
+                    "—".to_string()
+                },
+                m.allocs_per_round
+                    .map_or("—".to_string(), |a| format!("{a:.2}")),
+            );
+        }
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(out_path, json).expect("write BENCH_engine.json");
+    eprintln!("wrote {out_path}");
+
+    // Surface acceptance regressions directly in the exit code: the
+    // scratch engine must stay allocation-free in steady state.
+    let leaky: Vec<&str> = report
+        .workloads
+        .iter()
+        .filter(|w| {
+            w.engines
+                .iter()
+                .any(|m| m.engine == "scratch" && m.allocs_per_round.unwrap_or(0.0) > 0.0)
+        })
+        .map(|w| w.name.as_str())
+        .collect();
+    if !leaky.is_empty() {
+        eprintln!("FAIL: scratch engine allocated in steady state on: {leaky:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,292 @@
+//! Engine micro-benchmark workloads and the `BENCH_engine.json` report.
+//!
+//! The simulator's `Engine::step()` is the hot path under every experiment
+//! table, so its throughput is tracked PR-over-PR in a machine-readable
+//! artifact. Three canonical topologies cover the engine's regimes:
+//!
+//! * **clique** — dense reliable layer, every broadcast reaches everyone
+//!   (scatter cost is maximal per broadcaster);
+//! * **rgg** — the random-geometric dual graph the paper's experiments
+//!   use, with a gray zone of unreliable links and a randomized adversary
+//!   (the acceptance workload at `n = 256`);
+//! * **sparse** — a path with unreliable chords under the adaptive
+//!   [`Collider`](radio_sim::adversary::Collider), the cheap-per-round /
+//!   adversary-heavy regime.
+//!
+//! Each workload runs on both the scratch-buffer engine ([`Engine::step`])
+//! and the seed implementation kept as [`Engine::step_legacy`], so every
+//! generated `BENCH_engine.json` records the baseline and the speedup in
+//! the same artifact.
+//!
+//! [`Engine::step`]: radio_sim::Engine::step
+//! [`Engine::step_legacy`]: radio_sim::Engine::step_legacy
+
+use radio_sim::adversary::{Collider, RandomUnreliable};
+use radio_sim::topology::{random_geometric, RandomGeometricConfig};
+use radio_sim::{Action, Context, DualGraph, Engine, EngineBuilder, Graph, Process};
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// A light randomized chatterer: broadcasts its id with probability `p`
+/// each round, never terminates — so measured cost is the engine's, not an
+/// algorithm's.
+pub struct Chatter {
+    /// 53-bit acceptance threshold for the broadcast coin (hoisted out of
+    /// the per-round decision so the engine, not float conversion, is what
+    /// the benchmark measures).
+    threshold: u64,
+    heard: u64,
+}
+
+impl Chatter {
+    /// A chatterer broadcasting with probability `p` per round.
+    pub fn new(p: f64) -> Self {
+        Chatter {
+            threshold: (p * (1u64 << 53) as f64) as u64,
+            heard: 0,
+        }
+    }
+
+    /// Messages received so far (keeps `receive` from being optimized out).
+    pub fn heard(&self) -> u64 {
+        self.heard
+    }
+}
+
+impl Process for Chatter {
+    type Msg = u32;
+
+    fn decide(&mut self, ctx: &mut Context<'_>) -> Action<u32> {
+        use rand::RngCore;
+        if (ctx.rng.next_u64() >> 11) < self.threshold {
+            Action::Broadcast(ctx.my_id.get())
+        } else {
+            Action::Idle
+        }
+    }
+
+    fn receive(&mut self, _: &mut Context<'_>, msg: Option<&u32>) {
+        if msg.is_some() {
+            self.heard += 1;
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        None
+    }
+}
+
+/// Names of the canonical workloads, in report order.
+pub const WORKLOADS: [&str; 3] = ["clique-64", "rgg-256", "sparse-256"];
+
+/// Broadcast probability used by every workload's [`Chatter`] processes
+/// (MIS-style sparse contention).
+pub const CHATTER_P: f64 = 0.05;
+
+/// Builds a canonical workload network by name.
+///
+/// # Panics
+///
+/// Panics on an unknown name (callers pick from [`WORKLOADS`]).
+pub fn workload_net(name: &str) -> DualGraph {
+    match name {
+        "clique-64" => DualGraph::classic(Graph::complete(64)).expect("clique is connected"),
+        "rgg-256" => {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
+            random_geometric(&RandomGeometricConfig::dense(256), &mut rng)
+                .expect("dense configuration connects")
+        }
+        "sparse-256" => {
+            let n = 256;
+            let g = Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1))).expect("path");
+            let mut gp = g.clone();
+            for i in 0..n - 2 {
+                gp.add_edge(i, i + 2);
+            }
+            DualGraph::new(g, gp).expect("valid dual graph")
+        }
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+/// Spawns the workload's engine (Chatter processes + the workload's
+/// adversary), same construction for both engine implementations.
+pub fn workload_engine(name: &str) -> Engine<Chatter> {
+    let net = workload_net(name);
+    let builder = EngineBuilder::new(net).seed(7);
+    let builder = match name {
+        "sparse-256" => builder.adversary(Collider),
+        _ => builder.adversary(RandomUnreliable::new(0.5, 11)),
+    };
+    builder
+        .spawn(|_| Chatter::new(CHATTER_P))
+        .expect("workload engines assemble")
+}
+
+/// One measured engine configuration within a workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineMeasurement {
+    /// `"scratch"` (current `step()`) or `"legacy"` (seed implementation).
+    pub engine: String,
+    /// Rounds executed during measurement.
+    pub rounds: u64,
+    /// Wall time for those rounds, seconds.
+    pub wall_s: f64,
+    /// Rounds per second.
+    pub rounds_per_sec: f64,
+    /// Steady-state heap allocations per round (`None` when the harness
+    /// has no counting allocator installed).
+    pub allocs_per_round: Option<f64>,
+    /// Steady-state heap bytes allocated per round.
+    pub bytes_per_round: Option<f64>,
+}
+
+/// Benchmark results of one workload: both engines plus the speedup.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadReport {
+    /// Workload name from [`WORKLOADS`].
+    pub name: String,
+    /// Network size.
+    pub n: usize,
+    /// Measurements (scratch first, then legacy).
+    pub engines: Vec<EngineMeasurement>,
+    /// `rounds_per_sec(scratch) / rounds_per_sec(legacy)`.
+    pub speedup: f64,
+}
+
+/// The whole `BENCH_engine.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineBenchReport {
+    /// Schema tag for downstream tooling.
+    pub schema: String,
+    /// Per-workload results.
+    pub workloads: Vec<WorkloadReport>,
+}
+
+/// Steady-state allocation statistics observed around a measured run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllocDelta {
+    /// Heap allocations during the measured rounds.
+    pub allocs: u64,
+    /// Heap bytes requested during the measured rounds.
+    pub bytes: u64,
+}
+
+/// Measures both engines on one workload, **interleaved**: after a warmup
+/// on each, scratch and legacy execute alternating batches of rounds, so
+/// machine-load drift during the measurement hits both engines equally and
+/// cancels out of the speedup ratio. `alloc_probe` (when provided) samples
+/// a monotone `(allocs, bytes)` counter around each batch; the summed
+/// deltas give exact steady-state allocations.
+pub fn measure_workload(
+    name: &str,
+    rounds: u64,
+    alloc_probe: Option<&dyn Fn() -> (u64, u64)>,
+) -> WorkloadReport {
+    let warmup = (rounds / 10).max(16);
+    let batches = 16u64;
+    let batch = (rounds / batches).max(1);
+    let mut scratch_engine = workload_engine(name);
+    let mut legacy_engine = workload_engine(name);
+    for _ in 0..warmup {
+        scratch_engine.step();
+        legacy_engine.step_legacy();
+    }
+    let mut wall = [0.0f64; 2];
+    let mut executed = [0u64; 2];
+    let mut alloc = [AllocDelta::default(); 2];
+    for _ in 0..batches {
+        for (which, legacy) in [(0usize, false), (1usize, true)] {
+            let engine = if legacy {
+                &mut legacy_engine
+            } else {
+                &mut scratch_engine
+            };
+            let before = alloc_probe.map(|p| p());
+            let start = Instant::now();
+            for _ in 0..batch {
+                if legacy {
+                    engine.step_legacy();
+                } else {
+                    engine.step();
+                }
+            }
+            wall[which] += start.elapsed().as_secs_f64();
+            executed[which] += batch;
+            if let (Some(probe), Some((a0, b0))) = (alloc_probe, before) {
+                let (a1, b1) = probe();
+                alloc[which].allocs += a1 - a0;
+                alloc[which].bytes += b1 - b0;
+            }
+        }
+    }
+    // Defeat dead-code elimination of the whole run.
+    let heard: u64 = scratch_engine
+        .procs()
+        .iter()
+        .chain(legacy_engine.procs())
+        .map(Chatter::heard)
+        .sum();
+    std::hint::black_box(heard);
+    let engines: Vec<EngineMeasurement> = [(0usize, "scratch"), (1, "legacy")]
+        .into_iter()
+        .map(|(which, label)| EngineMeasurement {
+            engine: label.to_string(),
+            rounds: executed[which],
+            wall_s: wall[which],
+            rounds_per_sec: executed[which] as f64 / wall[which].max(1e-12),
+            allocs_per_round: alloc_probe
+                .map(|_| alloc[which].allocs as f64 / executed[which] as f64),
+            bytes_per_round: alloc_probe
+                .map(|_| alloc[which].bytes as f64 / executed[which] as f64),
+        })
+        .collect();
+    let speedup = engines[0].rounds_per_sec / engines[1].rounds_per_sec.max(1e-12);
+    WorkloadReport {
+        name: name.to_string(),
+        n: scratch_engine.net().n(),
+        engines,
+        speedup,
+    }
+}
+
+/// Runs every workload on both engines and assembles the report.
+pub fn run_engine_bench(
+    rounds: u64,
+    alloc_probe: Option<&dyn Fn() -> (u64, u64)>,
+) -> EngineBenchReport {
+    let workloads = WORKLOADS
+        .iter()
+        .map(|&name| measure_workload(name, rounds, alloc_probe))
+        .collect();
+    EngineBenchReport {
+        schema: "bench-engine/v1".to_string(),
+        workloads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_assemble_and_step() {
+        for name in WORKLOADS {
+            let mut e = workload_engine(name);
+            e.run_rounds(8);
+            assert_eq!(e.round(), 8, "{name}");
+            assert!(e.metrics().broadcasts > 0, "{name}: chatters must chat");
+        }
+    }
+
+    #[test]
+    fn report_serializes() {
+        let report = run_engine_bench(16, None);
+        assert_eq!(report.workloads.len(), WORKLOADS.len());
+        let json = serde_json::to_string_pretty(&report).expect("serializable");
+        let back: EngineBenchReport = serde_json::from_str(&json).expect("roundtrip");
+        assert_eq!(back.workloads.len(), report.workloads.len());
+        assert!(back.workloads.iter().all(|w| w.speedup > 0.0));
+    }
+}

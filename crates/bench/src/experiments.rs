@@ -5,6 +5,7 @@
 //! smoke-test levels (used by CI tests), `false` runs the full sweeps
 //! recorded in `EXPERIMENTS.md`.
 
+use crate::parallel::run_trials;
 use crate::stats::loglog_exponent;
 use crate::table::{f1, f3, Table};
 use hitting_games::{
@@ -14,8 +15,8 @@ use hitting_games::{
 use radio_baselines::{DecayBroadcast, NaiveCcdsConfig, RoundRobinBroadcast};
 use radio_sim::topology::{grid, random_geometric, GridConfig, RandomGeometricConfig};
 use radio_sim::{
-    DualGraph, DynamicDetector, EngineBuilder, Graph, IdAssignment, LinkDetectorAssignment,
-    NodeId, SpuriousSource, StopReason,
+    DualGraph, DynamicDetector, EngineBuilder, Graph, IdAssignment, LinkDetectorAssignment, NodeId,
+    SpuriousSource, StopReason,
 };
 use radio_structures::checker::{check_ccds, density_bound, mis_density_within};
 use radio_structures::params::{ceil_log2, MisParams};
@@ -38,13 +39,25 @@ fn geometric(n: usize, seed: u64) -> DualGraph {
 
 /// E1 (Theorem 4.6): MIS solve rounds vs `n` — the `O(log³ n)` claim.
 pub fn e1_mis_scaling(quick: bool) -> Table {
-    let ns: &[usize] = if quick { &[32, 64] } else { &[32, 64, 128, 256, 512] };
+    let ns: &[usize] = if quick {
+        &[32, 64]
+    } else {
+        &[32, 64, 128, 256, 512]
+    };
     let trials: u64 = if quick { 2 } else { 5 };
     let mut t = Table::new(
         "E1",
         "MIS (Sec. 4) under a random unreliable adversary: rounds to solve vs n; \
          paper claims O(log^3 n) w.h.p. — the rounds/log^3(n) ratio should stay flat",
-        &["n", "Delta", "trials", "valid", "mean solve rounds", "budget", "rounds/log^3 n"],
+        &[
+            "n",
+            "Delta",
+            "trials",
+            "valid",
+            "mean solve rounds",
+            "budget",
+            "rounds/log^3 n",
+        ],
     );
     let mut fit_points = Vec::new();
     for &n in ns {
@@ -52,14 +65,20 @@ pub fn e1_mis_scaling(quick: bool) -> Table {
         let mut solve_sum = 0u64;
         let mut delta = 0usize;
         let params = MisParams::default();
-        for s in 0..trials {
+        // Trials are independent with per-trial derived seeds, so they fan
+        // out in parallel with results identical to the serial loop.
+        for (d, ok, solve) in run_trials(trials, |s| {
             let net = geometric(n, 1000 + s);
-            delta = delta.max(net.max_degree_g());
             let run = run_mis(&net, params, AdversaryKind::Random { p: 0.5 }, 7 + s);
-            if run.report.is_valid() {
-                valid += 1;
-            }
-            solve_sum += run.solve_round.unwrap_or(run.rounds_executed);
+            (
+                net.max_degree_g(),
+                run.report.is_valid(),
+                run.solve_round.unwrap_or(run.rounds_executed),
+            )
+        }) {
+            delta = delta.max(d);
+            valid += u64::from(ok);
+            solve_sum += solve;
         }
         let mean = solve_sum as f64 / trials as f64;
         fit_points.push((f64::from(ceil_log2(n)), mean));
@@ -94,7 +113,12 @@ pub fn e2_mis_density(quick: bool) -> Table {
     );
     for &n in ns {
         let net = geometric(n, 2000);
-        let run = run_mis(&net, MisParams::default(), AdversaryKind::Random { p: 0.5 }, 3);
+        let run = run_mis(
+            &net,
+            MisParams::default(),
+            AdversaryKind::Random { p: 0.5 },
+            3,
+        );
         for r in [1.0f64, 2.0, 3.0] {
             let got = mis_density_within(&net, &run.outputs, r).expect("embedded network");
             let bound = density_bound(r);
@@ -116,17 +140,32 @@ pub fn e2_mis_density(quick: bool) -> Table {
 pub fn e3_ccds_tradeoff(quick: bool) -> Vec<Table> {
     let n: usize = if quick { 48 } else { 96 };
     // (a) Δ sweep at small b.
-    let degrees: &[f64] = if quick { &[8.0, 14.0] } else { &[8.0, 14.0, 20.0, 26.0] };
+    let degrees: &[f64] = if quick {
+        &[8.0, 14.0]
+    } else {
+        &[8.0, 14.0, 20.0, 26.0]
+    };
     let mut ta = Table::new(
         "E3a",
         "CCDS (Sec. 5) rounds vs Delta at small b = 64 bits: the Delta*log^2(n)/b \
          term dominates, so rounds grow ~linearly in Delta",
-        &["n", "Delta", "b", "chunk windows", "schedule rounds", "solved at", "valid"],
+        &[
+            "n",
+            "Delta",
+            "b",
+            "chunk windows",
+            "schedule rounds",
+            "solved at",
+            "valid",
+        ],
     );
     for &deg in degrees {
         let mut rng = rand::rngs::StdRng::seed_from_u64(31);
-        let net = random_geometric(&RandomGeometricConfig::with_expected_degree(n, deg), &mut rng)
-            .expect("configuration connects");
+        let net = random_geometric(
+            &RandomGeometricConfig::with_expected_degree(n, deg),
+            &mut rng,
+        )
+        .expect("configuration connects");
         let cfg = CcdsConfig::new(n, net.max_degree_g(), 64);
         let run = run_ccds(&net, &cfg, AdversaryKind::Random { p: 0.5 }, 5).expect("b >= min");
         let sched = cfg.schedule().expect("valid schedule");
@@ -136,19 +175,30 @@ pub fn e3_ccds_tradeoff(quick: bool) -> Vec<Table> {
             "64".to_string(),
             sched.chunk_windows.to_string(),
             run.schedule_total.to_string(),
-            run.solve_round
-                .map_or("—".to_string(), |r| r.to_string()),
+            run.solve_round.map_or("—".to_string(), |r| r.to_string()),
             (run.report.terminated && run.report.connected && run.report.dominating).to_string(),
         ]);
     }
     // (b) b sweep at fixed topology.
-    let bs: &[u64] = if quick { &[64, 512] } else { &[48, 64, 128, 256, 512, 1024, 2048] };
+    let bs: &[u64] = if quick {
+        &[64, 512]
+    } else {
+        &[48, 64, 128, 256, 512, 1024, 2048]
+    };
     let net = geometric(n, 3000);
     let mut tb = Table::new(
         "E3b",
         "CCDS rounds vs message bound b at fixed Delta: rounds fall as 1/b until \
          the MIS term log^3 n dominates (the paper's large-message regime b = Omega(Delta log n))",
-        &["n", "Delta", "b", "chunk windows", "schedule rounds", "solved at", "valid"],
+        &[
+            "n",
+            "Delta",
+            "b",
+            "chunk windows",
+            "schedule rounds",
+            "solved at",
+            "valid",
+        ],
     );
     for &b in bs {
         let cfg = CcdsConfig::new(n, net.max_degree_g(), b);
@@ -192,14 +242,24 @@ pub fn e4_tau_ccds(quick: bool) -> Table {
         "E4",
         "tau-complete CCDS (Sec. 6): rounds vs Delta and tau; linear in Delta \
          (per-neighbor slots), tau+1 MIS iterations",
-        &["n", "tau", "Delta", "slots", "schedule rounds", "winners", "valid"],
+        &[
+            "n",
+            "tau",
+            "Delta",
+            "slots",
+            "schedule rounds",
+            "winners",
+            "valid",
+        ],
     );
     for &tau in taus {
         for &deg in degrees {
             let mut rng = rand::rngs::StdRng::seed_from_u64(41 + tau as u64);
-            let net =
-                random_geometric(&RandomGeometricConfig::with_expected_degree(n, deg), &mut rng)
-                    .expect("configuration connects");
+            let net = random_geometric(
+                &RandomGeometricConfig::with_expected_degree(n, deg),
+                &mut rng,
+            )
+            .expect("configuration connects");
             let ids = IdAssignment::identity(n);
             let det = LinkDetectorAssignment::tau_complete(
                 &net,
@@ -230,13 +290,22 @@ pub fn e4_tau_ccds(quick: bool) -> Table {
 /// the 0-complete algorithm.
 pub fn e5_lower_bound(quick: bool) -> Vec<Table> {
     // (a) single hitting game.
-    let betas: &[u32] = if quick { &[16, 64] } else { &[16, 32, 64, 128, 256] };
+    let betas: &[u32] = if quick {
+        &[16, 64]
+    } else {
+        &[16, 32, 64, 128, 256]
+    };
     let trials = if quick { 100 } else { 400 };
     let mut ta = Table::new(
         "E5a",
         "beta-single hitting game: mean rounds to hit vs beta; any strategy needs \
          >= (beta+1)/2 in expectation — the bottom of the Thm 7.1 reduction",
-        &["beta", "optimal (no replacement)", "with replacement", "floor (beta+1)/2"],
+        &[
+            "beta",
+            "optimal (no replacement)",
+            "with replacement",
+            "floor (beta+1)/2",
+        ],
     );
     for &beta in betas {
         let opt = mean_hitting_time(beta, trials, 1, |s| {
@@ -260,7 +329,14 @@ pub fn e5_lower_bound(quick: bool) -> Vec<Table> {
         "two-clique network (Lemma 7.2) with 1-complete detectors under the \
          clique-isolating adversary: rounds grow linearly in Delta = beta \
          (upper-bounded by the Sec. 6 schedule, lower-bounded by Thm 7.1)",
-        &["Delta=beta", "trials", "valid", "mean solve", "mean bridge join", "schedule"],
+        &[
+            "Delta=beta",
+            "trials",
+            "valid",
+            "mean solve",
+            "mean bridge join",
+            "schedule",
+        ],
     );
     for row in &sweep {
         tb.push(vec![
@@ -301,7 +377,13 @@ pub fn e6_dynamic(quick: bool) -> Table {
         "E6",
         "continuous CCDS (Sec. 8) with a dynamic detector stabilizing at round r: \
          the structure is a valid CCDS when checked at r + 2*delta_CDS (Thm 8.1)",
-        &["seed", "stabilize round", "delta_CDS", "checked at", "valid"],
+        &[
+            "seed",
+            "stabilize round",
+            "delta_CDS",
+            "checked at",
+            "valid",
+        ],
     );
     for &seed in seeds {
         let g = Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1))).expect("path");
@@ -326,14 +408,14 @@ pub fn e6_dynamic(quick: bool) -> Table {
         let dyn_det = DynamicDetector::new(vec![(1, sparse), (stabilize_at, good.clone())])
             .expect("valid schedule");
         let h = good.h_graph(&ids);
-        let mut engine = EngineBuilder::new(net.clone())
+        let mut engine = EngineBuilder::new(net)
             .seed(seed)
             .detector(dyn_det)
             .spawn(|info| ContinuousCcds::new(&cfg, info.id).expect("valid config"))
             .expect("valid engine");
         let deadline = stabilize_at + 2 * delta;
         engine.run_rounds(deadline + 1);
-        let report = check_ccds(&net, &h, &engine.outputs());
+        let report = check_ccds(engine.net(), &h, &engine.outputs());
         t.push(vec![
             seed.to_string(),
             stabilize_at.to_string(),
@@ -354,60 +436,76 @@ pub fn e7_async_mis(quick: bool) -> Table {
         "E7",
         "async-start MIS (Sec. 9): max rounds from wake-up to output vs n; \
          paper claims O(log^3 n) per process — ratio should stay ~flat",
-        &["n", "model", "max latency", "log^3 n", "latency/log^3 n", "valid"],
+        &[
+            "n",
+            "model",
+            "max latency",
+            "log^3 n",
+            "latency/log^3 n",
+            "valid",
+        ],
     );
-    for &n in ns {
-        for classic in [true, false] {
-            let (net, filter) = if classic {
-                let mut rng = rand::rngs::StdRng::seed_from_u64(71);
-                let mut cfg = RandomGeometricConfig::dense(n);
-                cfg.gray_prob = 0.0;
-                (
-                    random_geometric(&cfg, &mut rng).expect("connects"),
-                    AsyncFilter::AcceptAll,
-                )
-            } else {
-                (geometric(n, 72), AsyncFilter::Detector)
-            };
-            let g = net.g().clone();
-            let params = AsyncMisParams::default();
-            let epoch = params.epoch_len(n);
-            let wakes: Vec<u64> = (0..n).map(|i| 1 + (i as u64 % 8) * (epoch / 2)).collect();
-            let budget = 8 * epoch / 2 + 60 * epoch;
-            let mut engine = EngineBuilder::new(net)
-                .seed(73)
-                .wake_rounds(wakes)
-                .adversary(radio_sim::adversary::AllUnreliable)
-                .spawn(|info| AsyncMis::new(info.n, info.id, params, filter))
-                .expect("valid engine");
-            let out = engine.run(budget);
-            let outputs = engine.outputs();
-            let max_latency = (0..n)
-                .filter_map(|v| engine.decided_latency(NodeId(v)))
-                .max()
-                .unwrap_or(0);
-            let mut valid = out.stop == StopReason::AllDone;
-            for (u, v) in g.edges() {
-                if outputs[u] == Some(true) && outputs[v] == Some(true) {
-                    valid = false;
-                }
+    // Each (n, model) configuration is an independent run; fan them out in
+    // parallel and push rows in the original sweep order.
+    let configs: Vec<(usize, bool)> = ns.iter().flat_map(|&n| [(n, true), (n, false)]).collect();
+    let rows = run_trials(configs.len() as u64, |i| {
+        let (n, classic) = configs[i as usize];
+        let (net, filter) = if classic {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+            let mut cfg = RandomGeometricConfig::dense(n);
+            cfg.gray_prob = 0.0;
+            (
+                random_geometric(&cfg, &mut rng).expect("connects"),
+                AsyncFilter::AcceptAll,
+            )
+        } else {
+            (geometric(n, 72), AsyncFilter::Detector)
+        };
+        let params = AsyncMisParams::default();
+        let epoch = params.epoch_len(n);
+        let wakes: Vec<u64> = (0..n).map(|i| 1 + (i as u64 % 8) * (epoch / 2)).collect();
+        let budget = 8 * epoch / 2 + 60 * epoch;
+        let mut engine = EngineBuilder::new(net)
+            .seed(73)
+            .wake_rounds(wakes)
+            .adversary(radio_sim::adversary::AllUnreliable)
+            .spawn(|info| AsyncMis::new(info.n, info.id, params, filter))
+            .expect("valid engine");
+        let out = engine.run(budget);
+        let outputs = engine.outputs();
+        let max_latency = (0..n)
+            .filter_map(|v| engine.decided_latency(NodeId(v)))
+            .max()
+            .unwrap_or(0);
+        let g = engine.net().g();
+        let mut valid = out.stop == StopReason::AllDone;
+        for (u, v) in g.edges() {
+            if outputs[u] == Some(true) && outputs[v] == Some(true) {
+                valid = false;
             }
-            for v in 0..n {
-                if outputs[v] == Some(false)
-                    && !g.neighbors(v).iter().any(|&u| outputs[u] == Some(true))
-                {
-                    valid = false;
-                }
-            }
-            t.push(vec![
-                n.to_string(),
-                if classic { "classic, no topology".into() } else { "dual graph, 0-complete".to_string() },
-                max_latency.to_string(),
-                f1(log3(n)),
-                f3(max_latency as f64 / log3(n)),
-                valid.to_string(),
-            ]);
         }
+        for v in 0..n {
+            if outputs[v] == Some(false)
+                && !g.neighbors(v).iter().any(|&u| outputs[u] == Some(true))
+            {
+                valid = false;
+            }
+        }
+        vec![
+            n.to_string(),
+            if classic {
+                "classic, no topology".to_string()
+            } else {
+                "dual graph, 0-complete".to_string()
+            },
+            max_latency.to_string(),
+            f1(log3(n)),
+            f3(max_latency as f64 / log3(n)),
+            valid.to_string(),
+        ]
+    });
+    for row in rows {
+        t.push(row);
     }
     t
 }
@@ -415,13 +513,24 @@ pub fn e7_async_mis(quick: bool) -> Table {
 /// E8 (ablation, Sec. 5 discussion): banned-list explorations per MIS node
 /// stay `O(1)` while the naive approach pays `Θ(Δ)` turns.
 pub fn e8_ablation(quick: bool) -> Table {
-    let spacings: &[f64] = if quick { &[0.9, 0.45] } else { &[0.9, 0.6, 0.45, 0.32] };
+    let spacings: &[f64] = if quick {
+        &[0.9, 0.45]
+    } else {
+        &[0.9, 0.6, 0.45, 0.32]
+    };
     let side = if quick { 5 } else { 7 };
     let mut t = Table::new(
         "E8",
         "banned list ablation: explorations per MIS node (Sec. 5, measured max) vs \
          the naive explore-every-neighbor turns (Sec. 5's 'simple approach' = Sec. 6 at tau=0)",
-        &["Delta", "banned-list explorations (max)", "naive turns", "banned rounds", "naive rounds", "banned valid"],
+        &[
+            "Delta",
+            "banned-list explorations (max)",
+            "naive turns",
+            "banned rounds",
+            "naive rounds",
+            "banned valid",
+        ],
     );
     for &spacing in spacings {
         let mut rng = rand::rngs::StdRng::seed_from_u64(81);
@@ -451,7 +560,10 @@ pub fn e9_adversaries(quick: bool) -> Vec<Table> {
     let kinds = [
         AdversaryKind::ReliableOnly,
         AdversaryKind::Random { p: 0.5 },
-        AdversaryKind::Bursty { p_gb: 0.05, p_bg: 0.05 },
+        AdversaryKind::Bursty {
+            p_gb: 0.05,
+            p_bg: 0.05,
+        },
         AdversaryKind::AllUnreliable,
         AdversaryKind::Collider,
     ];
@@ -484,7 +596,12 @@ pub fn e9_adversaries(quick: bool) -> Vec<Table> {
         "detector-less broadcast on a line with unreliable chords: Decay is fast \
          when links behave but degrades under the collider; round robin is \
          adversary-immune at Theta(n)-per-hop cost (why [5] calls it optimal)",
-        &["protocol", "adversary", "rounds to full coverage", "covered"],
+        &[
+            "protocol",
+            "adversary",
+            "rounds to full coverage",
+            "covered",
+        ],
     );
     let ids = IdAssignment::from_ids((1..=len as u32).rev().collect()).expect("permutation");
     for (proto, collider) in [("decay", false), ("decay", true), ("round-robin", true)] {
@@ -511,7 +628,12 @@ pub fn e9_adversaries(quick: bool) -> Vec<Table> {
         };
         tbl.push(vec![
             proto.to_string(),
-            if collider { "collider" } else { "reliable-only" }.to_string(),
+            if collider {
+                "collider"
+            } else {
+                "reliable-only"
+            }
+            .to_string(),
             rounds.to_string(),
             covered.to_string(),
         ]);
@@ -529,7 +651,15 @@ pub fn e10_backbone(quick: bool) -> Table {
          message with only backbone nodes forwarding vs everyone flooding; the \
          backbone trades constant-factor latency for a transmission rate \
          proportional to backbone size instead of n",
-        &["n", "backbone size", "mode", "coverage rounds", "broadcasts", "tx rate/round", "transmitters"],
+        &[
+            "n",
+            "backbone size",
+            "mode",
+            "coverage rounds",
+            "broadcasts",
+            "tx rate/round",
+            "transmitters",
+        ],
     );
     for &n in ns {
         let net = geometric(n, 4000);
@@ -553,9 +683,7 @@ pub fn e10_backbone(quick: bool) -> Table {
                 mode.to_string(),
                 rounds.map_or("—".to_string(), |r| r.to_string()),
                 stats.broadcasts.to_string(),
-                rounds.map_or("—".to_string(), |r| {
-                    f3(stats.broadcasts as f64 / r as f64)
-                }),
+                rounds.map_or("—".to_string(), |r| f3(stats.broadcasts as f64 / r as f64)),
                 stats.transmitters.to_string(),
             ]);
         }
@@ -576,7 +704,14 @@ pub fn e11_large_tau(quick: bool) -> Table {
         "beyond the paper (Sec. 10 future work): tau-CCDS at non-constant tau; \
          cost grows linearly in tau and the winner set densifies (tau+1 per \
          disk) — the quantity the paper's impossibility conjecture is about",
-        &["n", "tau", "schedule rounds", "winners", "max CCDS G'-neighbors", "valid"],
+        &[
+            "n",
+            "tau",
+            "schedule rounds",
+            "winners",
+            "max CCDS G'-neighbors",
+            "valid",
+        ],
     );
     for &tau in taus {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1100 + tau as u64);
@@ -597,8 +732,7 @@ pub fn e11_large_tau(quick: bool) -> Table {
             run.schedule_total.to_string(),
             run.winners.to_string(),
             run.report.max_gprime_neighbors_in_set.to_string(),
-            (run.report.terminated && run.report.connected && run.report.dominating)
-                .to_string(),
+            (run.report.terminated && run.report.connected && run.report.dominating).to_string(),
         ]);
     }
     t

@@ -13,9 +13,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod enginebench;
 pub mod experiments;
+pub mod parallel;
 pub mod stats;
 pub mod table;
 
 pub use experiments::{run_experiment, ALL_EXPERIMENTS};
+pub use parallel::run_trials;
 pub use table::Table;

@@ -79,8 +79,8 @@ pub fn backbone_quality(net: &DualGraph, backbone: &[bool]) -> Option<BackboneQu
     let mut count = 0u64;
     for &src in &sources {
         let direct = g.bfs_distances(src);
-        for dst in 0..n {
-            let Some(d) = direct[dst] else { continue };
+        for (dst, dd) in direct.iter().enumerate() {
+            let Some(d) = *dd else { continue };
             if d == 0 {
                 continue;
             }
@@ -135,7 +135,7 @@ fn radio_baselines_greedy_size(g: &Graph) -> usize {
                 if dist[v] == u32::MAX {
                     dist[v] = dist[u] + 1;
                     parent[v] = u;
-                    if comp[v].map_or(false, |c| c != 0) {
+                    if comp[v].is_some_and(|c| c != 0) {
                         join = Some(v);
                         break 'bfs;
                     }
@@ -190,12 +190,21 @@ mod tests {
         let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
         // Backbone = {1, 2}; route 0 → 3 must go the long way if 3's direct
         // edge neighbor (0) is fine... endpoints exempt, so 0-3 direct works.
-        assert_eq!(backbone_distance(&g, &[false, true, true, false], 0, 3), Some(1));
+        assert_eq!(
+            backbone_distance(&g, &[false, true, true, false], 0, 3),
+            Some(1)
+        );
         // Remove the direct edge: 0-1-2-3 with interior on the backbone.
         let g2 = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
-        assert_eq!(backbone_distance(&g2, &[false, true, true, false], 0, 3), Some(3));
+        assert_eq!(
+            backbone_distance(&g2, &[false, true, true, false], 0, 3),
+            Some(3)
+        );
         // An interior non-member blocks the only path.
-        assert_eq!(backbone_distance(&g2, &[false, true, false, false], 0, 3), None);
+        assert_eq!(
+            backbone_distance(&g2, &[false, true, false, false], 0, 3),
+            None
+        );
         assert_eq!(backbone_distance(&g2, &[false; 4], 2, 2), Some(0));
     }
 

@@ -21,8 +21,8 @@
 use crate::messages::Wire;
 use crate::mis::MisMsg;
 use crate::params::{ceil_log2, MisParams};
-use rand::Rng as _;
 use radio_sim::{Action, Context, Process, ProcessId};
+use rand::Rng as _;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 

@@ -64,7 +64,10 @@ impl BackboneFlood {
     /// Creates a process with the given role.
     pub fn new(n: usize, my_id: u32, role: FloodRole) -> Self {
         let informed = if role == FloodRole::Source {
-            Some(BackboneMsg { origin: my_id, hops: 0 })
+            Some(BackboneMsg {
+                origin: my_id,
+                hops: 0,
+            })
         } else {
             None
         };
@@ -164,9 +167,7 @@ pub fn run_backbone_flood(
     FloodStats {
         coverage_round: covered.then_some(out.rounds),
         broadcasts: engine.metrics().broadcasts,
-        transmitters: (0..n)
-            .filter(|&v| v == source || ccds[v])
-            .count(),
+        transmitters: (0..n).filter(|&v| v == source || ccds[v]).count(),
     }
 }
 
@@ -187,14 +188,8 @@ mod tests {
         assert!(run.report.connected && run.report.dominating);
         let ccds: Vec<bool> = run.outputs.iter().map(|o| *o == Some(true)).collect();
 
-        let via_backbone = run_backbone_flood(
-            &net,
-            &ccds,
-            0,
-            AdversaryKind::Random { p: 0.5 },
-            9,
-            50_000,
-        );
+        let via_backbone =
+            run_backbone_flood(&net, &ccds, 0, AdversaryKind::Random { p: 0.5 }, 9, 50_000);
         let plain = run_backbone_flood(
             &net,
             &vec![true; net.n()],
@@ -203,15 +198,16 @@ mod tests {
             9,
             50_000,
         );
-        assert!(via_backbone.coverage_round.is_some(), "backbone flood must cover");
+        assert!(
+            via_backbone.coverage_round.is_some(),
+            "backbone flood must cover"
+        );
         assert!(plain.coverage_round.is_some());
         assert!(via_backbone.transmitters < plain.transmitters);
         // The energy claim is about the transmission *rate* (broadcasts per
         // round): fewer nodes contend, so the channel carries less traffic —
         // totals can favor either side since coverage times differ.
-        let rate = |s: &FloodStats| {
-            s.broadcasts as f64 / s.coverage_round.expect("covered") as f64
-        };
+        let rate = |s: &FloodStats| s.broadcasts as f64 / s.coverage_round.expect("covered") as f64;
         assert!(rate(&via_backbone) < rate(&plain));
     }
 

@@ -34,8 +34,8 @@ pub use schedule::{P3Stage, Schedule, ScheduleError, SearchSlot, Slot, HEADER_BI
 use crate::messages::Wire;
 use crate::mis::{MisCore, MisMsg};
 use crate::params::{id_bits, CcdsParams};
-use rand::Rng as _;
 use radio_sim::{Action, Context, Process, ProcessId};
+use rand::Rng as _;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -181,9 +181,7 @@ impl CcdsMsg {
         match self {
             CcdsMsg::Mis(m) => m.encoded_bits(n),
             CcdsMsg::Banned { ids, .. } => HEADER_BITS + idb * (1 + ids.len() as u64),
-            CcdsMsg::Nominate { entries, .. } => {
-                HEADER_BITS + idb + 2 * idb * entries.len() as u64
-            }
+            CcdsMsg::Nominate { entries, .. } => HEADER_BITS + idb + 2 * idb * entries.len() as u64,
             CcdsMsg::Stop { .. } => HEADER_BITS + idb,
             CcdsMsg::Select { .. } => HEADER_BITS + 2 * idb,
             CcdsMsg::Explore { .. } => HEADER_BITS + 3 * idb,
@@ -334,8 +332,7 @@ impl Ccds {
         in_mis: bool,
         mis_set: std::collections::BTreeSet<u32>,
     ) -> Result<Self, ScheduleError> {
-        let schedule =
-            Schedule::compute_search_only(cfg.n, cfg.delta_bound, cfg.b, &cfg.params)?;
+        let schedule = Schedule::compute_search_only(cfg.n, cfg.delta_bound, cfg.b, &cfg.params)?;
         let mut p = Self::new(cfg, my_id)?;
         p.schedule = schedule;
         p.mis = MisCore::pre_decided(cfg.n, my_id, cfg.params.mis, in_mis, mis_set);
@@ -409,8 +406,8 @@ impl Ccds {
             return;
         }
         let idb = id_bits(self.cfg.n);
-        let max_entries = (((self.cfg.b.saturating_sub(HEADER_BITS + idb)) / (2 * idb)) as usize)
-            .max(1);
+        let max_entries =
+            (((self.cfg.b.saturating_sub(HEADER_BITS + idb)) / (2 * idb)) as usize).max(1);
         let mut sims = Vec::new();
         for &u in self.mis.mis_set() {
             if u == self.my_id || !ctx.detector.contains(&u) {
@@ -425,7 +422,10 @@ impl Ccds {
                 .find(|w| !replica.contains(w) && **w != self.my_id)
             {
                 sims.push(SimSender {
-                    nomination: Nomination { dest: u, nominee: w },
+                    nomination: Nomination {
+                        dest: u,
+                        nominee: w,
+                    },
                     active: true,
                 });
             }
@@ -437,11 +437,7 @@ impl Ccds {
     }
 
     /// The decide half of the search-epoch state machine.
-    fn search_decide(
-        &mut self,
-        ctx: &mut Context<'_>,
-        phase: SearchSlot,
-    ) -> Option<CcdsMsg> {
+    fn search_decide(&mut self, ctx: &mut Context<'_>, phase: SearchSlot) -> Option<CcdsMsg> {
         match phase {
             SearchSlot::P1 { window, .. } => {
                 if self.mis.in_mis() {
@@ -494,12 +490,7 @@ impl Ccds {
         }
     }
 
-    fn p3_decide(
-        &mut self,
-        ctx: &mut Context<'_>,
-        stage: P3Stage,
-        round: u64,
-    ) -> Option<CcdsMsg> {
+    fn p3_decide(&mut self, ctx: &mut Context<'_>, stage: P3Stage, round: u64) -> Option<CcdsMsg> {
         match stage {
             P3Stage::Select => {
                 if self.mis.in_mis() {
@@ -633,7 +624,11 @@ impl Ccds {
                     }
                 }
             }
-            CcdsMsg::Explore { from, target, origin } => {
+            CcdsMsg::Explore {
+                from,
+                target,
+                origin,
+            } => {
                 if *target == self.my_id && self.reply_job.is_none() {
                     let (mis, ids): (u32, Vec<u32>) = if self.mis.in_mis() {
                         // The explored process is itself in the MIS: answer
@@ -647,11 +642,9 @@ impl Ccds {
                     } else {
                         // Answer with a neighboring MIS process and its
                         // primary-replica neighborhood.
-                        let Some((&x, primary)) = self
-                            .primaries
-                            .iter()
-                            .find(|(x, _)| ctx.detector.contains(x) && self.mis.mis_set().contains(*x))
-                        else {
+                        let Some((&x, primary)) = self.primaries.iter().find(|(x, _)| {
+                            ctx.detector.contains(x) && self.mis.mis_set().contains(*x)
+                        }) else {
                             return;
                         };
                         (x, primary.iter().copied().collect())
@@ -669,10 +662,15 @@ impl Ccds {
                     });
                 }
             }
-            CcdsMsg::Reply { via, origin, mis, seq, ids, .. } => {
-                if *via == self.my_id
-                    && self.relay_chunks.iter().all(|rc| rc.seq != *seq)
-                {
+            CcdsMsg::Reply {
+                via,
+                origin,
+                mis,
+                seq,
+                ids,
+                ..
+            } => {
+                if *via == self.my_id && self.relay_chunks.iter().all(|rc| rc.seq != *seq) {
                     self.relay_chunks.push(RelayChunk {
                         origin: *origin,
                         mis: *mis,
@@ -681,7 +679,9 @@ impl Ccds {
                     });
                 }
             }
-            CcdsMsg::Relay { origin, mis, ids, .. } => {
+            CcdsMsg::Relay {
+                origin, mis, ids, ..
+            } => {
                 if *origin == self.my_id && self.mis.in_mis() {
                     if *mis != self.my_id && !self.banned.contains(mis) {
                         self.discovered.insert(*mis);
@@ -706,7 +706,11 @@ impl Process for Ccds {
                 self.current_epoch = None;
                 self.mis.step(ctx, r0).map(CcdsMsg::Mis)
             }
-            Slot::Search { epoch, epoch_start, phase } => {
+            Slot::Search {
+                epoch,
+                epoch_start,
+                phase,
+            } => {
                 if epoch_start || self.current_epoch != Some(epoch) {
                     self.start_epoch(ctx);
                     self.current_epoch = Some(epoch);
@@ -760,7 +764,7 @@ mod tests {
     use super::*;
     use crate::checker::{check_ccds, check_mis};
     use radio_sim::topology::{random_geometric, RandomGeometricConfig};
-    use radio_sim::{DualGraph, EngineBuilder, Graph, LinkDetectorAssignment, IdAssignment};
+    use radio_sim::{DualGraph, EngineBuilder, Graph, IdAssignment, LinkDetectorAssignment};
     use rand::SeedableRng;
 
     fn run_ccds(net: DualGraph, b: u64, seed: u64) -> (Vec<Option<bool>>, u64) {
@@ -772,7 +776,11 @@ mod tests {
             .spawn(|info| Ccds::new(&cfg, info.id).unwrap())
             .unwrap();
         engine.run(schedule.total + 1);
-        assert_eq!(engine.metrics().oversize_messages, 0, "chunking must respect b");
+        assert_eq!(
+            engine.metrics().oversize_messages,
+            0,
+            "chunking must respect b"
+        );
         (engine.outputs(), engine.round())
     }
 
@@ -785,7 +793,11 @@ mod tests {
         let report = check_ccds(&net, &h, &out);
         assert!(report.terminated, "undecided: {}", report.undecided);
         assert!(report.connected, "CCDS not connected: {out:?}");
-        assert!(report.dominating, "violations: {:?}", report.domination_violations);
+        assert!(
+            report.dominating,
+            "violations: {:?}",
+            report.domination_violations
+        );
     }
 
     #[test]
@@ -811,15 +823,16 @@ mod tests {
         let net = DualGraph::classic(g).unwrap();
         let cfg_small = CcdsConfig::new(16, 15, 64);
         let cfg_large = CcdsConfig::new(16, 15, 2048);
-        assert!(
-            cfg_small.schedule().unwrap().total > cfg_large.schedule().unwrap().total
-        );
+        assert!(cfg_small.schedule().unwrap().total > cfg_large.schedule().unwrap().total);
         let _ = net;
     }
 
     #[test]
     fn message_sizes_respect_bound() {
-        let msg = CcdsMsg::Banned { from: 1, ids: vec![2, 3, 4] };
+        let msg = CcdsMsg::Banned {
+            from: 1,
+            ids: vec![2, 3, 4],
+        };
         let n = 64;
         assert_eq!(msg.encoded_bits(n), HEADER_BITS + 7 * 4);
         let reply = CcdsMsg::Reply {

@@ -95,7 +95,10 @@ impl Schedule {
         // address/label ids (origin, via, mis, from).
         let overhead = HEADER_BITS + 4 * idb;
         if b < overhead + idb {
-            return Err(ScheduleError::MessageBoundTooSmall { b, min: overhead + idb });
+            return Err(ScheduleError::MessageBoundTooSmall {
+                b,
+                min: overhead + idb,
+            });
         }
         let chunk_capacity = ((b - overhead) / idb) as usize;
         let max_ids = delta_bound as u64 + 1; // a diff or a neighborhood: ≤ Δ+1 ids
@@ -199,9 +202,7 @@ impl Schedule {
         } else if window == 1 {
             P3Stage::Explore
         } else if window < 2 + self.chunk_windows {
-            P3Stage::Reply {
-                chunk: window - 2,
-            }
+            P3Stage::Reply { chunk: window - 2 }
         } else {
             P3Stage::Relay {
                 chunk: window - 2 - self.chunk_windows,
@@ -309,7 +310,15 @@ mod tests {
         assert!(matches!(s.slot(0), Slot::Mis { r0: 0 }));
         assert!(matches!(s.slot(s.mis_total - 1), Slot::Mis { .. }));
         match s.slot(s.mis_total) {
-            Slot::Search { epoch: 0, epoch_start: true, phase: SearchSlot::P1 { window: 0, round: 0 } } => {}
+            Slot::Search {
+                epoch: 0,
+                epoch_start: true,
+                phase:
+                    SearchSlot::P1 {
+                        window: 0,
+                        round: 0,
+                    },
+            } => {}
             other => panic!("unexpected: {other:?}"),
         }
         assert!(matches!(s.slot(s.total), Slot::Done { first: true }));
@@ -322,7 +331,10 @@ mod tests {
         let base = s.mis_total;
         // Last round of P1.
         match s.slot(base + s.p1_len - 1) {
-            Slot::Search { phase: SearchSlot::P1 { window, round }, .. } => {
+            Slot::Search {
+                phase: SearchSlot::P1 { window, round },
+                ..
+            } => {
                 assert_eq!(window, s.chunk_windows - 1);
                 assert_eq!(round, s.bb_len - 1);
             }
@@ -330,26 +342,61 @@ mod tests {
         }
         // First round of P2.
         match s.slot(base + s.p1_len) {
-            Slot::Search { phase: SearchSlot::P2Contention { decay_phase: 0, round: 0 }, .. } => {}
+            Slot::Search {
+                phase:
+                    SearchSlot::P2Contention {
+                        decay_phase: 0,
+                        round: 0,
+                    },
+                ..
+            } => {}
             other => panic!("unexpected: {other:?}"),
         }
         // First stop window.
         match s.slot(base + s.p1_len + s.dd_len) {
-            Slot::Search { phase: SearchSlot::P2Stop { decay_phase: 0, round: 0 }, .. } => {}
+            Slot::Search {
+                phase:
+                    SearchSlot::P2Stop {
+                        decay_phase: 0,
+                        round: 0,
+                    },
+                ..
+            } => {}
             other => panic!("unexpected: {other:?}"),
         }
         // First round of P3 = select.
         match s.slot(base + s.p1_len + s.p2_len) {
-            Slot::Search { phase: SearchSlot::P3 { stage: P3Stage::Select, round: 0 }, .. } => {}
+            Slot::Search {
+                phase:
+                    SearchSlot::P3 {
+                        stage: P3Stage::Select,
+                        round: 0,
+                    },
+                ..
+            } => {}
             other => panic!("unexpected: {other:?}"),
         }
         // Reply and relay windows.
         match s.slot(base + s.p1_len + s.p2_len + 2 * s.bb_len) {
-            Slot::Search { phase: SearchSlot::P3 { stage: P3Stage::Reply { chunk: 0 }, .. }, .. } => {}
+            Slot::Search {
+                phase:
+                    SearchSlot::P3 {
+                        stage: P3Stage::Reply { chunk: 0 },
+                        ..
+                    },
+                ..
+            } => {}
             other => panic!("unexpected: {other:?}"),
         }
         match s.slot(base + s.p1_len + s.p2_len + (2 + s.chunk_windows) * s.bb_len) {
-            Slot::Search { phase: SearchSlot::P3 { stage: P3Stage::Relay { chunk: 0 }, .. }, .. } => {}
+            Slot::Search {
+                phase:
+                    SearchSlot::P3 {
+                        stage: P3Stage::Relay { chunk: 0 },
+                        ..
+                    },
+                ..
+            } => {}
             other => panic!("unexpected: {other:?}"),
         }
     }
@@ -358,7 +405,11 @@ mod tests {
     fn second_epoch_starts_cleanly() {
         let s = schedule();
         match s.slot(s.mis_total + s.epoch_len) {
-            Slot::Search { epoch: 1, epoch_start: true, .. } => {}
+            Slot::Search {
+                epoch: 1,
+                epoch_start: true,
+                ..
+            } => {}
             other => panic!("unexpected: {other:?}"),
         }
     }
@@ -384,9 +435,6 @@ mod tests {
     fn chunk_capacity_respects_b() {
         let s = Schedule::compute(256, 100, 128, &CcdsParams::default()).unwrap();
         let idb = id_bits(256);
-        assert_eq!(
-            s.chunk_capacity as u64,
-            (128 - HEADER_BITS - 4 * idb) / idb
-        );
+        assert_eq!(s.chunk_capacity as u64, (128 - HEADER_BITS - 4 * idb) / idb);
     }
 }

@@ -128,7 +128,13 @@ pub fn check_ccds(net: &DualGraph, h: &Graph, outputs: &[Option<bool>]) -> CcdsR
         .collect();
 
     let max_gprime_neighbors_in_set = (0..n)
-        .map(|v| net.g_prime().neighbors(v).iter().filter(|&&u| in_set(u)).count())
+        .map(|v| {
+            net.g_prime()
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| in_set(u))
+                .count()
+        })
         .max()
         .unwrap_or(0);
 
@@ -255,7 +261,13 @@ mod tests {
     fn detects_domination_violation() {
         let net = path_net(5);
         let h = net.g().clone();
-        let out = vec![Some(true), Some(true), Some(false), Some(false), Some(false)];
+        let out = vec![
+            Some(true),
+            Some(true),
+            Some(false),
+            Some(false),
+            Some(false),
+        ];
         let r = check_ccds(&net, &h, &out);
         assert!(!r.dominating);
         assert!(r.domination_violations.contains(&3));
@@ -281,6 +293,9 @@ mod tests {
     #[test]
     fn density_requires_embedding() {
         let net = path_net(3);
-        assert_eq!(mis_density_within(&net, &[Some(true), None, None], 1.0), None);
+        assert_eq!(
+            mis_density_within(&net, &[Some(true), None, None], 1.0),
+            None
+        );
     }
 }

@@ -80,8 +80,8 @@ impl Process for ContinuousCcds {
             // Publish the finished cycle and start a fresh run.
             self.committed = self.inner.output();
             self.cycles_completed += 1;
-            self.inner = Ccds::new(&self.cfg, self.my_id)
-                .expect("configuration validated at construction");
+            self.inner =
+                Ccds::new(&self.cfg, self.my_id).expect("configuration validated at construction");
         }
         let mut shifted = Context {
             local_round: cycle_pos + 1,
@@ -156,7 +156,7 @@ mod tests {
             DynamicDetector::new(vec![(1, sparse), (stabilize_at.max(2), good.clone())]).unwrap();
 
         let h = good.h_graph(&ids);
-        let mut engine = EngineBuilder::new(net.clone())
+        let mut engine = EngineBuilder::new(net)
             .seed(17)
             .detector(dyn_det)
             .spawn(|info| ContinuousCcds::new(&cfg, info.id).unwrap())
@@ -164,10 +164,14 @@ mod tests {
         // Theorem 8.1: solved by stabilization + 2δ. Run just past that.
         let deadline = stabilize_at + 2 * delta;
         engine.run_rounds(deadline + 1);
-        let report = check_ccds(&net, &h, &engine.outputs());
+        let report = check_ccds(engine.net(), &h, &engine.outputs());
         assert!(report.terminated, "undecided: {}", report.undecided);
         assert!(report.connected);
-        assert!(report.dominating, "violations: {:?}", report.domination_violations);
+        assert!(
+            report.dominating,
+            "violations: {:?}",
+            report.domination_violations
+        );
     }
 
     #[test]

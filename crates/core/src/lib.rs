@@ -38,7 +38,10 @@ pub use mis::{Mis, MisCore, MisMsg};
 
 mod ccds;
 
-pub use ccds::{Ccds, CcdsConfig, CcdsCounters, CcdsMsg, Nomination, P3Stage, Schedule, ScheduleError, SearchSlot, Slot, HEADER_BITS};
+pub use ccds::{
+    Ccds, CcdsConfig, CcdsCounters, CcdsMsg, Nomination, P3Stage, Schedule, ScheduleError,
+    SearchSlot, Slot, HEADER_BITS,
+};
 
 mod tau;
 

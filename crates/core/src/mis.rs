@@ -21,10 +21,10 @@
 //! Theorem 4.6: with 0-complete link detectors this solves the MIS problem
 //! in `O(log³ n)` rounds, w.h.p.
 
-use crate::params::{id_bits, MisParams};
-use rand::Rng as _;
 use crate::messages::Wire;
+use crate::params::{id_bits, MisParams};
 use radio_sim::{Action, Context, Process, ProcessId};
+use rand::Rng as _;
 use std::collections::BTreeSet;
 
 /// MIS protocol messages. Senders always label messages with their id; the
@@ -307,10 +307,10 @@ mod tests {
     use radio_sim::adversary::{AllUnreliable, Collider};
     use radio_sim::{DualGraph, EngineBuilder, Graph};
 
-    fn run_mis(net: DualGraph, seed: u64) -> Vec<Option<bool>> {
+    fn run_mis(net: &DualGraph, seed: u64) -> Vec<Option<bool>> {
         let params = MisParams::default();
         let n = net.n();
-        let mut engine = EngineBuilder::new(net)
+        let mut engine = EngineBuilder::new(net.clone())
             .seed(seed)
             .spawn(|info| Mis::new(info.n, info.id, params))
             .unwrap();
@@ -321,7 +321,7 @@ mod tests {
     #[test]
     fn clique_elects_exactly_one() {
         let net = DualGraph::classic(Graph::complete(12)).unwrap();
-        let out = run_mis(net, 1);
+        let out = run_mis(&net, 1);
         assert_eq!(out.iter().filter(|o| **o == Some(true)).count(), 1);
         assert!(out.iter().all(Option::is_some));
     }
@@ -329,17 +329,17 @@ mod tests {
     #[test]
     fn path_alternates_legally() {
         let g = Graph::from_edges(10, (0..9).map(|i| (i, i + 1))).unwrap();
-        let net = DualGraph::classic(g.clone()).unwrap();
-        let out = run_mis(net, 2);
+        let net = DualGraph::classic(g).unwrap();
+        let out = run_mis(&net, 2);
         // Independence: no two adjacent 1s. Maximality: every 0 has a 1
         // neighbor. Termination: all decided.
         assert!(out.iter().all(Option::is_some));
-        for (u, v) in g.edges() {
+        for (u, v) in net.g().edges() {
             assert!(!(out[u] == Some(true) && out[v] == Some(true)));
         }
         for v in 0..10 {
             if out[v] == Some(false) {
-                assert!(g.neighbors(v).iter().any(|&u| out[u] == Some(true)));
+                assert!(net.g().neighbors(v).iter().any(|&u| out[u] == Some(true)));
             }
         }
     }
@@ -353,7 +353,7 @@ mod tests {
         for i in 0..10 {
             gp.add_edge(i, i + 2);
         }
-        let net = DualGraph::new(g.clone(), gp).unwrap();
+        let net = DualGraph::new(g, gp).unwrap();
         let params = MisParams::default();
         for adversary in 0..2 {
             let mut builder = EngineBuilder::new(net.clone()).seed(77);
@@ -368,12 +368,12 @@ mod tests {
             engine.run(params.total_rounds(12));
             let out = engine.outputs();
             assert!(out.iter().all(Option::is_some), "termination failed");
-            for (u, v) in g.edges() {
+            for (u, v) in net.g().edges() {
                 assert!(!(out[u] == Some(true) && out[v] == Some(true)));
             }
             for v in 0..12 {
                 if out[v] == Some(false) {
-                    assert!(g.neighbors(v).iter().any(|&u| out[u] == Some(true)));
+                    assert!(net.g().neighbors(v).iter().any(|&u| out[u] == Some(true)));
                 }
             }
         }

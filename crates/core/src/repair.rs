@@ -198,7 +198,10 @@ mod tests {
         // After the boundary: a valid structure.
         engine.run_rounds(2);
         let report = check_ccds(&net, &h, &engine.outputs());
-        assert!(report.terminated && report.connected && report.dominating, "{report:?}");
+        assert!(
+            report.terminated && report.connected && report.dominating,
+            "{report:?}"
+        );
         // Each subsequent repair cycle republishes a valid structure.
         for cycle in 1..=2u64 {
             engine.run_rounds(repair);
@@ -207,7 +210,10 @@ mod tests {
                 report.terminated && report.connected && report.dominating,
                 "repair cycle {cycle}: {report:?}"
             );
-            assert!(engine.procs().iter().all(|p| p.repairs_completed() >= cycle));
+            assert!(engine
+                .procs()
+                .iter()
+                .all(|p| p.repairs_completed() >= cycle));
         }
     }
 

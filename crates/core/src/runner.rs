@@ -247,7 +247,12 @@ mod tests {
     fn mis_runner_verifies() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(31);
         let net = random_geometric(&RandomGeometricConfig::dense(40), &mut rng).unwrap();
-        let run = run_mis(&net, MisParams::default(), AdversaryKind::Random { p: 0.5 }, 7);
+        let run = run_mis(
+            &net,
+            MisParams::default(),
+            AdversaryKind::Random { p: 0.5 },
+            7,
+        );
         assert!(run.report.is_valid(), "{:?}", run.report);
         assert!(run.solve_round.is_some());
         assert!(run.solve_round.unwrap() <= run.rounds_executed);
@@ -289,7 +294,10 @@ mod tests {
             AdversaryKind::AllUnreliable,
             AdversaryKind::Random { p: 0.5 },
             AdversaryKind::Collider,
-            AdversaryKind::Bursty { p_gb: 0.1, p_bg: 0.1 },
+            AdversaryKind::Bursty {
+                p_gb: 0.1,
+                p_bg: 0.1,
+            },
             AdversaryKind::CliqueIsolator,
         ] {
             let a = kind.build(1);

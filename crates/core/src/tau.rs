@@ -25,8 +25,8 @@
 use crate::messages::Wire;
 use crate::mis::{MisCore, MisMsg};
 use crate::params::{ceil_log2, id_bits, MisParams};
-use rand::Rng as _;
 use radio_sim::{Action, Context, Process, ProcessId};
+use rand::Rng as _;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -301,22 +301,21 @@ impl TauMsg {
         let payload: u64 = match self {
             TauMsg::Mis { detector, .. } => 1 + detector.len() as u64 + 1,
             TauMsg::DetectorList { ids, .. } => 1 + ids.len() as u64,
-            TauMsg::Announce1 { detector, masters, .. } => {
-                1 + detector.len() as u64 + masters.len() as u64
-            }
-            TauMsg::Announce2 { detector, entries, .. } => {
+            TauMsg::Announce1 {
+                detector, masters, ..
+            } => 1 + detector.len() as u64 + masters.len() as u64,
+            TauMsg::Announce2 {
+                detector, entries, ..
+            } => {
                 1 + detector.len() as u64
-                    + entries
-                        .iter()
-                        .map(|(_, m)| 1 + m.len() as u64)
-                        .sum::<u64>()
+                    + entries.iter().map(|(_, m)| 1 + m.len() as u64).sum::<u64>()
             }
-            TauMsg::Assign { detector, relays, .. } => {
-                1 + detector.len() as u64 + 3 * relays.len() as u64
-            }
-            TauMsg::RelayAssign { detector, entries, .. } => {
-                1 + detector.len() as u64 + 2 * entries.len() as u64
-            }
+            TauMsg::Assign {
+                detector, relays, ..
+            } => 1 + detector.len() as u64 + 3 * relays.len() as u64,
+            TauMsg::RelayAssign {
+                detector, entries, ..
+            } => 1 + detector.len() as u64 + 2 * entries.len() as u64,
         };
         header + payload * idb
     }
@@ -514,11 +513,7 @@ impl TauCcds {
                     Some(TauMsg::Announce2 {
                         from: self.my_id,
                         detector: Self::detector_vec(ctx),
-                        entries: self
-                            .heard1
-                            .iter()
-                            .map(|(id, m)| (*id, m.clone()))
-                            .collect(),
+                        entries: self.heard1.iter().map(|(id, m)| (*id, m.clone())).collect(),
                     })
                 } else {
                     None
@@ -722,15 +717,31 @@ mod tests {
         engine.run(total + 1);
         let report = check_ccds(&net, &h, &engine.outputs());
         assert!(report.terminated);
-        assert!(report.dominating, "violations: {:?}", report.domination_violations);
+        assert!(
+            report.dominating,
+            "violations: {:?}",
+            report.domination_violations
+        );
         assert!(report.connected);
     }
 
     #[test]
     fn running_time_linear_in_delta() {
         let p = TauParams::default();
-        let small = TauConfig { n: 256, delta_bound: 10, tau: 1, params: p }.schedule();
-        let large = TauConfig { n: 256, delta_bound: 100, tau: 1, params: p }.schedule();
+        let small = TauConfig {
+            n: 256,
+            delta_bound: 10,
+            tau: 1,
+            params: p,
+        }
+        .schedule();
+        let large = TauConfig {
+            n: 256,
+            delta_bound: 100,
+            tau: 1,
+            params: p,
+        }
+        .schedule();
         let fixed = 2 * small.mis_len + 3 * small.slot_len;
         let var_small = small.total - fixed;
         let var_large = large.total - fixed;
@@ -740,8 +751,14 @@ mod tests {
 
     #[test]
     fn message_sizes_grow_with_detector() {
-        let m = TauMsg::DetectorList { from: 1, ids: vec![1, 2, 3] };
-        let big = TauMsg::DetectorList { from: 1, ids: (1..100).collect() };
+        let m = TauMsg::DetectorList {
+            from: 1,
+            ids: vec![1, 2, 3],
+        };
+        let big = TauMsg::DetectorList {
+            from: 1,
+            ids: (1..100).collect(),
+        };
         assert!(big.encoded_bits(128) > m.encoded_bits(128));
     }
 }

@@ -53,13 +53,22 @@ pub fn play_double(
         let b = player_b.guess(r);
         // Both players act in the same round; either hit solves the game.
         if a == Some(t_a) {
-            return DoubleOutcome { solved_at: Some(r), solved_by_a: true };
+            return DoubleOutcome {
+                solved_at: Some(r),
+                solved_by_a: true,
+            };
         }
         if b == Some(t_b) {
-            return DoubleOutcome { solved_at: Some(r), solved_by_a: false };
+            return DoubleOutcome {
+                solved_at: Some(r),
+                solved_by_a: false,
+            };
         }
     }
-    DoubleOutcome { solved_at: None, solved_by_a: false }
+    DoubleOutcome {
+        solved_at: None,
+        solved_by_a: false,
+    }
 }
 
 /// A simple direct strategy: each player sweeps `[β]` in a pseudorandom

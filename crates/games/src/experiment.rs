@@ -117,8 +117,16 @@ pub fn two_clique_sweep(betas: &[usize], trials: u32, seed: u64) -> Vec<TwoCliqu
                 trials,
                 solved,
                 valid,
-                mean_solve_round: if solved > 0 { solve_sum as f64 / f64::from(solved) } else { f64::NAN },
-                mean_bridge_round: if solved > 0 { bridge_sum as f64 / f64::from(solved) } else { f64::NAN },
+                mean_solve_round: if solved > 0 {
+                    solve_sum as f64 / f64::from(solved)
+                } else {
+                    f64::NAN
+                },
+                mean_bridge_round: if solved > 0 {
+                    bridge_sum as f64 / f64::from(solved)
+                } else {
+                    f64::NAN
+                },
                 schedule_total,
             }
         })
@@ -155,7 +163,10 @@ mod tests {
         assert!(run.report.connected);
         assert!(run.report.dominating);
         // Connectivity + domination force the bridge endpoints in.
-        assert!(run.bridge_round.is_some(), "bridge endpoints missing from CCDS");
+        assert!(
+            run.bridge_round.is_some(),
+            "bridge endpoints missing from CCDS"
+        );
         assert!(run.solve_round.unwrap() <= run.schedule_total + 1);
     }
 

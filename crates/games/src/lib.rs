@@ -30,9 +30,7 @@ pub mod single;
 
 pub use double::{mean_double_solve_time, play_double, DoubleOutcome, DoublePlayer, SweepPlayer};
 pub use experiment::{run_two_clique, two_clique_sweep, TwoCliqueRun, TwoCliqueSummary};
-pub use reduction::{
-    CliquePlayer, CliqueRole, SingleConstruction, SingleFromDouble, WinnerTable,
-};
+pub use reduction::{CliquePlayer, CliqueRole, SingleConstruction, SingleFromDouble, WinnerTable};
 pub use single::{
     expected_rounds_floor, mean_hitting_time, play_single, SinglePlayer, Sweep,
     UniformNoReplacement, UniformWithReplacement,

@@ -146,8 +146,7 @@ impl<P: Process> DoublePlayer for CliquePlayer<P> {
                 radio_sim::Action::Idle => messages.push(None),
             }
         }
-        let broadcasters: Vec<usize> =
-            (0..k).filter(|&i| messages[i].is_some()).collect();
+        let broadcasters: Vec<usize> = (0..k).filter(|&i| messages[i].is_some()).collect();
 
         // Delivery per the proof's adversary: a lone broadcaster reaches its
         // whole clique (and is this round's guess); otherwise everyone
@@ -267,7 +266,10 @@ impl WinnerTable {
                     .filter(|&x| self.winner_is_a[x][y])
                     .map(|x| (x + 1) as u32)
                     .collect();
-                return SingleConstruction::FromColumn { y: (y + 1) as u32, targets };
+                return SingleConstruction::FromColumn {
+                    y: (y + 1) as u32,
+                    targets,
+                };
             }
         }
         // Pigeonhole: some row must then be majority-B.
@@ -278,7 +280,10 @@ impl WinnerTable {
                     .filter(|&y| !self.winner_is_a[x][y])
                     .map(|y| (y + 1) as u32)
                     .collect();
-                return SingleConstruction::FromRow { x: (x + 1) as u32, targets };
+                return SingleConstruction::FromRow {
+                    x: (x + 1) as u32,
+                    targets,
+                };
             }
         }
         unreachable!("pigeonhole guarantees a majority column or row");
@@ -502,7 +507,10 @@ mod tests {
                 hits.insert(g);
             }
         }
-        assert!(!hits.is_empty(), "the constructed single player never guessed in-domain");
+        assert!(
+            !hits.is_empty(),
+            "the constructed single player never guessed in-domain"
+        );
     }
 
     #[test]

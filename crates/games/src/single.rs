@@ -125,7 +125,10 @@ mod tests {
     #[test]
     fn sweep_hits_at_target() {
         for target in 1..=10 {
-            assert_eq!(play_single(10, target, &mut Sweep, 100), Some(u64::from(target)));
+            assert_eq!(
+                play_single(10, target, &mut Sweep, 100),
+                Some(u64::from(target))
+            );
         }
     }
 
@@ -160,10 +163,8 @@ mod tests {
 
     #[test]
     fn with_replacement_is_worse() {
-        let without =
-            mean_hitting_time(48, 300, 5, |s| Box::new(UniformNoReplacement::new(48, s)));
-        let with =
-            mean_hitting_time(48, 300, 6, |s| Box::new(UniformWithReplacement::new(48, s)));
+        let without = mean_hitting_time(48, 300, 5, |s| Box::new(UniformNoReplacement::new(48, s)));
+        let with = mean_hitting_time(48, 300, 6, |s| Box::new(UniformWithReplacement::new(48, s)));
         assert!(with > without);
     }
 

@@ -129,9 +129,56 @@ impl Adversary for RandomUnreliable {
         _broadcasting: &[bool],
         out: &mut Vec<(usize, usize)>,
     ) {
-        for (u, v) in net.unreliable_edges() {
-            if self.rng.gen_bool(self.p) {
-                out.push((u, v));
+        let edges = net.unreliable_edge_list();
+        if self.p <= 0.0 {
+            return;
+        }
+        if self.p >= 1.0 {
+            out.extend_from_slice(edges);
+            return;
+        }
+        if self.p < 0.25 {
+            // Geometric skip sampling: draw the gap to the next activated
+            // edge — one RNG call (plus an `ln`) per *activated* edge,
+            // a large win when activations are sparse. The stream differs
+            // from the coin-per-edge loop but is equally deterministic per
+            // seed.
+            let ln_q = (1.0 - self.p).ln();
+            let mut i = 0usize;
+            loop {
+                let u: f64 = self.rng.gen_range(0.0..1.0);
+                // Geometric(p) number of skipped edges; 1 - u ∈ (0, 1].
+                let skip = ((1.0 - u).ln() / ln_q) as usize;
+                i = i.saturating_add(skip);
+                if i >= edges.len() {
+                    return;
+                }
+                out.push(edges[i]);
+                i += 1;
+            }
+        }
+        use rand::RngCore;
+        if self.p == 0.5 {
+            // The common experiment setting: every bit of a random word is
+            // an exact Bernoulli(½) coin, so one RNG call covers 64 edges.
+            for chunk in edges.chunks(64) {
+                let mut word = self.rng.next_u64();
+                for &e in chunk {
+                    if word & 1 == 1 {
+                        out.push(e);
+                    }
+                    word >>= 1;
+                }
+            }
+            return;
+        }
+        // Dense activation: a coin per edge is cheaper than a logarithm
+        // per activated edge. Hoist the 53-bit acceptance threshold out of
+        // the loop (same acceptance rule as `Rng::gen_bool`).
+        let threshold = (self.p * (1u64 << 53) as f64) as u64;
+        for &e in edges {
+            if (self.rng.next_u64() >> 11) < threshold {
+                out.push(e);
             }
         }
     }
@@ -166,22 +213,24 @@ impl Adversary for Collider {
                 continue;
             }
             let reliable_hits = net
-                .g()
+                .g_csr()
                 .neighbors(v)
                 .iter()
-                .filter(|&&u| broadcasting[u])
+                .filter(|&&u| broadcasting[u as usize])
                 .count();
             if reliable_hits != 1 {
                 continue;
             }
-            // Find an unreliable edge from a different broadcaster.
+            // Find an unreliable edge from a different broadcaster. The
+            // unreliable CSR layer is exactly E' \ E, so no membership
+            // re-check against G is needed.
             if let Some(&u) = net
-                .g_prime()
+                .unreliable_csr()
                 .neighbors(v)
                 .iter()
-                .find(|&&u| broadcasting[u] && !net.g().has_edge(u, v))
+                .find(|&&u| broadcasting[u as usize])
             {
-                out.push((u, v));
+                out.push((u as usize, v));
             }
         }
     }
@@ -249,14 +298,16 @@ impl Adversary for BurstyUnreliable {
         _broadcasting: &[bool],
         out: &mut Vec<(usize, usize)>,
     ) {
-        let edges: Vec<(usize, usize)> = net.unreliable_edges().collect();
+        // The network precomputes the unreliable edge list, so per-round
+        // work is allocation-free (modulo the one-time state vector).
+        let edges = net.unreliable_edge_list();
         if !self.initialized || self.states.len() != edges.len() {
             // Start each edge at its stationary distribution.
             let rate = self.stationary_delivery_rate();
             self.states = (0..edges.len()).map(|_| self.rng.gen_bool(rate)).collect();
             self.initialized = true;
         }
-        for (state, &edge) in self.states.iter_mut().zip(&edges) {
+        for (state, &edge) in self.states.iter_mut().zip(edges) {
             let flip = if *state { self.p_gb } else { self.p_bg };
             if self.rng.gen_bool(flip) {
                 *state = !*state;
@@ -293,31 +344,34 @@ impl Adversary for CliqueIsolator {
         broadcasting: &[bool],
         out: &mut Vec<(usize, usize)>,
     ) {
-        let broadcasters: Vec<usize> = (0..net.n()).filter(|&v| broadcasting[v]).collect();
-        if broadcasters.len() < 2 {
+        if broadcasting.iter().filter(|&&b| b).count() < 2 {
             return;
         }
         // For every listener, ensure at least two broadcasters reach it by
-        // activating unreliable edges from broadcasters as needed.
+        // activating unreliable edges from broadcasters as needed. Scanning
+        // the listener's unreliable CSR row visits exactly the candidate
+        // broadcasters in ascending order — same choices as enumerating all
+        // broadcasters and testing edge membership, without materializing
+        // the broadcaster list.
         for v in 0..net.n() {
             if broadcasting[v] {
                 continue;
             }
             let mut reach = net
-                .g()
+                .g_csr()
                 .neighbors(v)
                 .iter()
-                .filter(|&&u| broadcasting[u])
+                .filter(|&&u| broadcasting[u as usize])
                 .count();
             if reach >= 2 {
                 continue;
             }
-            for &u in &broadcasters {
+            for &u in net.unreliable_csr().neighbors(v) {
                 if reach >= 2 {
                     break;
                 }
-                if net.is_unreliable_edge(u, v) {
-                    out.push((u, v));
+                if broadcasting[u as usize] {
+                    out.push((u as usize, v));
                     reach += 1;
                 }
             }
@@ -422,7 +476,10 @@ mod tests {
             present_last = Some(present);
         }
         // Stationary rate ~0.5; expected flips ~ rounds * 0.05 * 2 = 200.
-        assert!((600..1400).contains(&present_total), "rate off: {present_total}");
+        assert!(
+            (600..1400).contains(&present_total),
+            "rate off: {present_total}"
+        );
         assert!(flips < 400, "too many flips for bursty links: {flips}");
         assert!(flips > 20, "suspiciously static: {flips}");
     }

@@ -157,6 +157,13 @@ impl LinkDetectorAssignment {
         h
     }
 
+    /// The graph `H` frozen into CSR form. This rebuilds `H` from the
+    /// detector sets — `O(V + E)` — so call it once per assignment and
+    /// reuse the result; per-round callers should freeze up front.
+    pub fn h_csr(&self, ids: &IdAssignment) -> crate::graph::CsrGraph {
+        self.h_graph(ids).to_csr()
+    }
+
     /// Validates τ-completeness against a network: every `G`-neighbor id
     /// present, at most `tau` extras, and no extra is a `G`-neighbor or the
     /// node's own id.
@@ -220,6 +227,7 @@ mod tests {
         assert!(det.is_tau_complete(&net, &ids, 0));
         let h = det.h_graph(&ids);
         assert_eq!(&h, net.g());
+        assert_eq!(det.h_csr(&ids), h.to_csr());
     }
 
     #[test]

@@ -82,9 +82,10 @@ impl std::fmt::Display for DynamicDetectorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DynamicDetectorError::Empty => write!(f, "dynamic detector needs at least one stage"),
-            DynamicDetectorError::BadSchedule =>
-
-                write!(f, "stage starts must begin at round 1 and strictly increase"),
+            DynamicDetectorError::BadSchedule => write!(
+                f,
+                "stage starts must begin at round 1 and strictly increase"
+            ),
             DynamicDetectorError::SizeMismatch => write!(f, "stages cover different node counts"),
         }
     }
@@ -99,9 +100,7 @@ impl DynamicDetector {
     ///
     /// Returns [`DynamicDetectorError`] if the schedule is empty, does not
     /// start at round 1, is not strictly increasing, or mixes node counts.
-    pub fn new(
-        stages: Vec<(u64, LinkDetectorAssignment)>,
-    ) -> Result<Self, DynamicDetectorError> {
+    pub fn new(stages: Vec<(u64, LinkDetectorAssignment)>) -> Result<Self, DynamicDetectorError> {
         if stages.is_empty() {
             return Err(DynamicDetectorError::Empty);
         }

@@ -10,10 +10,40 @@
 //!
 //! Executions are deterministic given the engine seed: every process gets a
 //! private RNG derived from it, and adversaries carry their own seeds.
+//!
+//! # Performance architecture
+//!
+//! [`Engine::step`] is the hot path of every experiment, so it is written
+//! for **steady-state zero heap allocation**: every per-round buffer lives
+//! in [`RoundScratch`], sized once at spawn and cleared (never freed) each
+//! round. Delivery is *broadcaster-centric*: instead of every listener
+//! scanning its whole neighborhood, each broadcaster scatters into
+//! epoch-stamped reach counters over the frozen CSR adjacency
+//! ([`crate::CsrGraph`]), costing `O(Σ deg(broadcasters))` — on sparse
+//! broadcast schedules (MIS-style contention reduction) this is far below
+//! the seed implementation's `O(Σ deg(listeners))` scan. Adversary-proposed
+//! unreliable edges are validated with an `O(1)`-amortized
+//! [`crate::NeighborStamps`] row test rather than a per-edge binary search.
+//!
+//! The scratch invariants:
+//!
+//! * `msgs`, `broadcasting`, `reach_*` are exactly `n` long from spawn and
+//!   are overwritten (not reallocated) every round;
+//! * `extra` holds the adversary's proposal; its capacity high-water-marks
+//!   after the first few rounds, after which `clear()` frees nothing;
+//! * `reach_stamp` equality with the current round epoch marks a listener
+//!   as reached this round — stale entries are never cleared, just
+//!   outdated, so no `O(n)` zeroing happens between rounds.
+//!
+//! The seed's straightforward implementation is preserved as
+//! [`Engine::step_legacy`]; a golden-trace test asserts both produce
+//! identical executions, and `BENCH_engine.json` tracks their relative
+//! throughput PR-over-PR.
 
 use crate::adversary::{Adversary, ReliableOnly};
 use crate::detector::LinkDetectorAssignment;
 use crate::dynamic::DetectorProvider;
+use crate::graph::NeighborStamps;
 use crate::ids::{IdAssignment, NodeId, ProcessId};
 use crate::network::DualGraph;
 use crate::process::{Action, Context, MessageSize, Process};
@@ -195,9 +225,13 @@ impl EngineBuilder {
             });
         }
         let wake_rounds = self.wake_rounds.unwrap_or_else(|| vec![1; n]);
-        if wake_rounds.len() != n || wake_rounds.iter().any(|&w| w == 0) {
+        if wake_rounds.len() != n || wake_rounds.contains(&0) {
             return Err(EngineError::BadWakeRounds);
         }
+        // Size the adversary-proposal buffer for the built-in adversaries'
+        // worst cases (full unreliable layer, or ≤ 2 edges per listener) so
+        // steady state never grows it.
+        let extra_capacity = self.net.unreliable_edge_count().max(2 * n);
         let mut master = StdRng::seed_from_u64(self.seed);
         let rngs = (0..n)
             .map(|_| StdRng::seed_from_u64(master.gen()))
@@ -213,6 +247,18 @@ impl EngineBuilder {
                 })
             })
             .collect();
+        // A detector that is static from round 1 never changes output:
+        // copy its sets once so the per-node, per-round lookup is a plain
+        // index instead of a virtual call.
+        let static_sets = if detectors.stabilization_round() == Some(1) {
+            Some(
+                (0..n)
+                    .map(|v| detectors.set_at(NodeId(v), 1).clone())
+                    .collect::<Vec<_>>(),
+            )
+        } else {
+            None
+        };
         Ok(Engine {
             net: self.net,
             ids,
@@ -223,11 +269,59 @@ impl EngineBuilder {
             rngs,
             round: 0,
             metrics: ExecutionMetrics::default(),
-            trace: if self.record_trace { Some(Trace::new()) } else { None },
+            trace: if self.record_trace {
+                Some(Trace::new())
+            } else {
+                None
+            },
             max_message_bits: self.max_message_bits,
             decided_round: vec![None; n],
-            scratch_extra: Vec::new(),
+            static_sets,
+            scratch: RoundScratch::new(n, extra_capacity),
         })
+    }
+}
+
+/// Reusable per-round buffers of the engine (see the module docs for the
+/// invariants). Sized once at spawn; `step()` only overwrites.
+struct RoundScratch<M> {
+    /// This round's decisions, indexed by node. Only current-round
+    /// broadcasters' slots are meaningful; idle slots go stale (never
+    /// read, never cleared).
+    msgs: Vec<Option<M>>,
+    /// Whether each node broadcast this round.
+    broadcasting: Vec<bool>,
+    /// The nodes that broadcast this round, in node order.
+    broadcasters: Vec<u32>,
+    /// The adversary's proposed unreliable edges, normalized/filtered in
+    /// place each round.
+    extra: Vec<(usize, usize)>,
+    /// Row tester validating proposals against `E' \ E` in `O(1)` amortized.
+    unreliable_rows: NeighborStamps,
+    /// Monotone round epoch for the reach counters below; stale entries are
+    /// outdated by the bump, never cleared.
+    epoch: u64,
+    /// Last epoch in which each listener was reached by any broadcaster.
+    reach_stamp: Vec<u64>,
+    /// Reachable-broadcaster count per listener (valid iff stamp == epoch).
+    reach_count: Vec<u32>,
+    /// First reachable broadcaster per listener (valid iff stamp == epoch).
+    reach_first: Vec<u32>,
+}
+
+impl<M> RoundScratch<M> {
+    fn new(n: usize, extra_capacity: usize) -> Self {
+        RoundScratch {
+            msgs: (0..n).map(|_| None).collect(),
+            broadcasting: vec![false; n],
+            broadcasters: Vec::with_capacity(n),
+            extra: Vec::with_capacity(extra_capacity),
+            unreliable_rows: NeighborStamps::new(n),
+            epoch: 0,
+            reach_stamp: vec![0; n],
+            reach_count: vec![0; n],
+            reach_first: vec![0; n],
+        }
     }
 }
 
@@ -270,12 +364,251 @@ pub struct Engine<P: Process> {
     trace: Option<Trace>,
     max_message_bits: Option<u64>,
     decided_round: Vec<Option<u64>>,
-    scratch_extra: Vec<(usize, usize)>,
+    /// Detector sets copied at spawn when the provider is static (see
+    /// [`EngineBuilder::spawn`]); `None` for genuinely dynamic detectors.
+    static_sets: Option<Vec<BTreeSet<u32>>>,
+    scratch: RoundScratch<P::Msg>,
+}
+
+/// The detector set of node `v` at round `r` — a plain index for static
+/// detectors, the provider call otherwise. A free function over the two
+/// fields so callers keep disjoint borrows of the rest of the engine.
+#[inline]
+fn detector_set<'a>(
+    static_sets: &'a Option<Vec<BTreeSet<u32>>>,
+    detectors: &'a dyn DetectorProvider,
+    v: usize,
+    r: u64,
+) -> &'a BTreeSet<u32> {
+    match static_sets {
+        Some(sets) => &sets[v],
+        None => detectors.set_at(NodeId(v), r),
+    }
 }
 
 impl<P: Process> Engine<P> {
     /// Executes one synchronous round.
+    ///
+    /// Allocation-free in steady state: all per-round buffers live in the
+    /// engine's scratch (see the module docs). Deliveries are computed by
+    /// scattering each broadcaster's CSR neighborhood into epoch-stamped
+    /// reach counters, `O(Σ deg(broadcasters) + extra edges + n)` per round.
     pub fn step(&mut self) {
+        let n = self.net.n();
+        self.round += 1;
+        let r = self.round;
+        self.metrics.rounds = r;
+
+        // Phase 1: every awake process decides. Idle nodes' `msgs` slots
+        // are left stale on purpose: delivery only ever dereferences the
+        // slot of a *current-round* broadcaster (via `reach_first`), and
+        // those slots are freshly written below.
+        self.scratch.broadcasters.clear();
+        for v in 0..n {
+            if self.wake_rounds[v] > r {
+                self.scratch.broadcasting[v] = false;
+                continue;
+            }
+            let det = detector_set(&self.static_sets, self.detectors.as_ref(), v, r);
+            let mut ctx = Context {
+                local_round: r - self.wake_rounds[v] + 1,
+                n,
+                my_id: self.ids.id_of(NodeId(v)),
+                detector: det,
+                rng: &mut self.rngs[v],
+            };
+            match self.procs[v].decide(&mut ctx) {
+                Action::Idle => {
+                    self.scratch.broadcasting[v] = false;
+                }
+                Action::Broadcast(m) => {
+                    let bits = m.bits();
+                    self.metrics.broadcasts += 1;
+                    self.metrics.bits_broadcast += bits;
+                    if let Some(b) = self.max_message_bits {
+                        if bits > b {
+                            self.metrics.oversize_messages += 1;
+                        }
+                    }
+                    self.scratch.broadcasting[v] = true;
+                    self.scratch.broadcasters.push(v as u32);
+                    self.scratch.msgs[v] = Some(m);
+                }
+            }
+        }
+        let broadcaster_count = self.scratch.broadcasters.len() as u32;
+
+        // Phase 2: the adversary picks the round's unreliable reach edges.
+        // Normalize, dedupe, then validate against E' \ E — one stamped row
+        // load per distinct endpoint instead of a binary search per edge.
+        self.scratch.extra.clear();
+        self.adversary.extra_edges(
+            r,
+            &self.net,
+            &self.scratch.broadcasting,
+            &mut self.scratch.extra,
+        );
+        // With a trace recording, the full proposal must be normalized,
+        // deduped, and validated up front so the recorded `extra_edges`
+        // count matches the legacy engine exactly. Without one, only edges
+        // with exactly one broadcasting endpoint are observable (they
+        // alone can affect delivery), so all per-edge work happens in the
+        // single fused scatter pass below.
+        let tracing = self.trace.is_some();
+        if tracing {
+            for e in &mut self.scratch.extra {
+                if e.0 > e.1 {
+                    *e = (e.1, e.0);
+                }
+            }
+            self.sort_validate_extra(n);
+        }
+        let extra_count = self.scratch.extra.len() as u32;
+
+        // Phase 3: reach. Each broadcaster scatters its CSR row into the
+        // stamped counters; activated unreliable edges then add their
+        // endpoints in a fused pass (incidence filter, duplicate skip,
+        // `E' \ E` validation, bump — one traversal, no buffer writes).
+        // The fused pass assumes the proposal is normalized and strictly
+        // sorted, which holds for every built-in adversary; if a proposal
+        // violates that, the pass aborts, the epoch bump discards all
+        // partial reach state, and one retry runs on the sorted list.
+        // The epoch advances every round — including broadcaster-less ones,
+        // where stale reach state from earlier rounds must not deliver.
+        self.scratch.epoch += 1;
+        if broadcaster_count > 0 {
+            let mut attempt = 0;
+            loop {
+                attempt += 1;
+                if attempt > 1 {
+                    self.scratch.epoch += 1;
+                }
+                let epoch = self.scratch.epoch;
+                let csr_g = self.net.g_csr();
+                for i in 0..self.scratch.broadcasters.len() {
+                    let u = self.scratch.broadcasters[i] as usize;
+                    for &v in csr_g.neighbors(u) {
+                        let vi = v as usize;
+                        if self.scratch.reach_stamp[vi] != epoch {
+                            self.scratch.reach_stamp[vi] = epoch;
+                            self.scratch.reach_count[vi] = 1;
+                            self.scratch.reach_first[vi] = u as u32;
+                        } else {
+                            self.scratch.reach_count[vi] += 1;
+                        }
+                    }
+                }
+                let unreliable = self.net.unreliable_csr();
+                let RoundScratch {
+                    extra,
+                    unreliable_rows,
+                    broadcasting,
+                    reach_stamp,
+                    reach_count,
+                    reach_first,
+                    ..
+                } = &mut self.scratch;
+                let strict = attempt == 1;
+                let mut loaded = usize::MAX;
+                // Ordering/duplicate tracking only needs to cover pairs
+                // that bump a counter, so the cheap incidence test runs
+                // first and skips ~all proposals in one compare. (0, 0) is
+                // below every normalized pair, so it works as "no prev".
+                let mut prev = (0usize, 0usize);
+                let mut disorder = false;
+                for &(a, b) in extra.iter() {
+                    if a >= n || b >= n {
+                        continue;
+                    }
+                    // Also drops self-loops (equal flags on both sides).
+                    if broadcasting[a] == broadcasting[b] {
+                        continue;
+                    }
+                    let (u, v) = if a < b { (a, b) } else { (b, a) };
+                    if strict {
+                        if prev >= (u, v) {
+                            // Out-of-order or duplicate among counted
+                            // pairs: redo on the sorted list.
+                            disorder = true;
+                            break;
+                        }
+                        prev = (u, v);
+                    }
+                    if !tracing {
+                        if loaded != u {
+                            unreliable_rows.load_row(unreliable, u);
+                            loaded = u;
+                        }
+                        if !unreliable_rows.contains(v) {
+                            continue;
+                        }
+                    }
+                    let (from, to) = if broadcasting[u] { (u, v) } else { (v, u) };
+                    if reach_stamp[to] != epoch {
+                        reach_stamp[to] = epoch;
+                        reach_count[to] = 1;
+                        reach_first[to] = from as u32;
+                    } else {
+                        reach_count[to] += 1;
+                    }
+                }
+                if !disorder {
+                    break;
+                }
+                for e in extra.iter_mut() {
+                    if e.0 > e.1 {
+                        *e = (e.1, e.0);
+                    }
+                }
+                extra.sort_unstable();
+                extra.dedup();
+            }
+        }
+
+        // Delivery: exactly one reachable broadcaster => message; otherwise
+        // ⊥. Sleeping nodes neither broadcast nor receive.
+        let epoch = self.scratch.epoch;
+        let mut deliveries = 0u32;
+        let mut collisions = 0u32;
+        for v in 0..n {
+            if self.wake_rounds[v] > r || self.scratch.broadcasting[v] {
+                continue;
+            }
+            let reach = if self.scratch.reach_stamp[v] == epoch {
+                self.scratch.reach_count[v]
+            } else {
+                0
+            };
+            let delivered = if reach == 1 {
+                deliveries += 1;
+                Some(self.scratch.reach_first[v] as usize)
+            } else {
+                if reach >= 2 {
+                    collisions += 1;
+                }
+                None
+            };
+            let det = detector_set(&self.static_sets, self.detectors.as_ref(), v, r);
+            let mut ctx = Context {
+                local_round: r - self.wake_rounds[v] + 1,
+                n,
+                my_id: self.ids.id_of(NodeId(v)),
+                detector: det,
+                rng: &mut self.rngs[v],
+            };
+            let msg = delivered.and_then(|u| self.scratch.msgs[u].as_ref());
+            self.procs[v].receive(&mut ctx, msg);
+        }
+        self.finish_round(r, broadcaster_count, deliveries, collisions, extra_count);
+    }
+
+    /// The seed implementation of [`Engine::step`], kept verbatim as the
+    /// reference for differential (golden-trace) testing and as the
+    /// baseline side of `BENCH_engine.json`. Allocates its per-round
+    /// buffers and scans every listener's full neighborhood; produces
+    /// executions identical to [`Engine::step`] for the same seed.
+    #[allow(clippy::needless_range_loop)] // kept structurally verbatim
+    pub fn step_legacy(&mut self) {
         let n = self.net.n();
         self.round += 1;
         let r = self.round;
@@ -289,7 +622,7 @@ impl<P: Process> Engine<P> {
                 messages.push(None);
                 continue;
             }
-            let det = self.detectors.set_at(NodeId(v), r);
+            let det = detector_set(&self.static_sets, self.detectors.as_ref(), v, r);
             let mut ctx = Context {
                 local_round: r - self.wake_rounds[v] + 1,
                 n,
@@ -315,26 +648,27 @@ impl<P: Process> Engine<P> {
         }
 
         // Phase 2: the adversary picks the round's unreliable reach edges.
-        self.scratch_extra.clear();
+        self.scratch.extra.clear();
         self.adversary
-            .extra_edges(r, &self.net, &broadcasting, &mut self.scratch_extra);
+            .extra_edges(r, &self.net, &broadcasting, &mut self.scratch.extra);
         // Defensive filtering: keep only genuine unreliable edges, dedupe.
-        self.scratch_extra.retain(|&(u, v)| {
-            u < n && v < n && self.net.is_unreliable_edge(u, v)
-        });
-        for e in &mut self.scratch_extra {
+        let net = &self.net;
+        self.scratch
+            .extra
+            .retain(|&(u, v)| u < n && v < n && net.is_unreliable_edge(u, v));
+        for e in &mut self.scratch.extra {
             if e.0 > e.1 {
                 *e = (e.1, e.0);
             }
         }
-        self.scratch_extra.sort_unstable();
-        self.scratch_extra.dedup();
-        let extra_count = self.scratch_extra.len() as u32;
+        self.scratch.extra.sort_unstable();
+        self.scratch.extra.dedup();
+        let extra_count = self.scratch.extra.len() as u32;
 
         // Per-listener extra reach: broadcasters connected by an activated
         // unreliable edge.
         let mut extra_from: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for &(u, v) in &self.scratch_extra {
+        for &(u, v) in &self.scratch.extra {
             if broadcasting[u] && !broadcasting[v] {
                 extra_from[v].push(u);
             }
@@ -373,7 +707,7 @@ impl<P: Process> Engine<P> {
                 }
                 None
             };
-            let det = self.detectors.set_at(NodeId(v), r);
+            let det = detector_set(&self.static_sets, self.detectors.as_ref(), v, r);
             let mut ctx = Context {
                 local_round: r - self.wake_rounds[v] + 1,
                 n,
@@ -384,23 +718,58 @@ impl<P: Process> Engine<P> {
             let msg = delivered.and_then(|u| messages[u].as_ref());
             self.procs[v].receive(&mut ctx, msg);
         }
+        let broadcaster_count = broadcasting.iter().filter(|&&b| b).count() as u32;
+        self.finish_round(r, broadcaster_count, deliveries, collisions, extra_count);
+    }
+
+    /// Sorts, dedupes, and validates the (already normalized) proposal in
+    /// place — the full pass the tracing path needs so its recorded
+    /// `extra_edges` count matches the legacy engine.
+    fn sort_validate_extra(&mut self, n: usize) {
+        self.scratch.extra.sort_unstable();
+        self.scratch.extra.dedup();
+        let unreliable = self.net.unreliable_csr();
+        let RoundScratch {
+            extra,
+            unreliable_rows,
+            ..
+        } = &mut self.scratch;
+        let mut loaded = usize::MAX;
+        extra.retain(|&(u, v)| {
+            u < n && v < n && {
+                if loaded != u {
+                    unreliable_rows.load_row(unreliable, u);
+                    loaded = u;
+                }
+                unreliable_rows.contains(v)
+            }
+        });
+    }
+
+    /// Shared end-of-round bookkeeping: aggregate metrics, first-output
+    /// rounds, and the optional trace record.
+    fn finish_round(
+        &mut self,
+        r: u64,
+        broadcasters: u32,
+        deliveries: u32,
+        collisions: u32,
+        extra_edges: u32,
+    ) {
         self.metrics.deliveries += u64::from(deliveries);
         self.metrics.collisions += u64::from(collisions);
-
-        // Bookkeeping: first round each process produced an output.
-        for v in 0..n {
+        for v in 0..self.decided_round.len() {
             if self.decided_round[v].is_none() && self.procs[v].output().is_some() {
                 self.decided_round[v] = Some(r);
             }
         }
-
         if let Some(trace) = &mut self.trace {
             trace.push(RoundRecord {
                 round: r,
-                broadcasters: broadcasting.iter().filter(|&&b| b).count() as u32,
+                broadcasters,
                 deliveries,
                 collisions,
-                extra_edges: extra_count,
+                extra_edges,
             });
         }
     }
@@ -413,11 +782,7 @@ impl<P: Process> Engine<P> {
 
     /// Runs until every process is done, the predicate over the process
     /// array returns true, or the budget is exhausted — whichever first.
-    pub fn run_until(
-        &mut self,
-        max_rounds: u64,
-        mut pred: impl FnMut(&[P]) -> bool,
-    ) -> RunOutcome {
+    pub fn run_until(&mut self, max_rounds: u64, mut pred: impl FnMut(&[P]) -> bool) -> RunOutcome {
         loop {
             if self.procs.iter().all(Process::is_done) {
                 return RunOutcome {
@@ -497,7 +862,10 @@ impl<P: Process> Engine<P> {
     /// Latest first-output round across nodes that have decided; `None` if
     /// any node is still undecided.
     pub fn all_decided_round(&self) -> Option<u64> {
-        self.decided_round.iter().copied().collect::<Option<Vec<_>>>()
+        self.decided_round
+            .iter()
+            .copied()
+            .collect::<Option<Vec<_>>>()
             .map(|v| v.into_iter().max().unwrap_or(0))
     }
 

@@ -178,7 +178,10 @@ impl DiskOverlay {
     /// This matches Fact 4.1: the returned value is a constant depending only
     /// on `r` (and the overlay radius), not on the network size.
     pub fn overlap_bound(&self, r: f64) -> usize {
-        assert!(r.is_finite() && r >= 0.0, "query radius must be nonnegative");
+        assert!(
+            r.is_finite() && r >= 0.0,
+            "query radius must be nonnegative"
+        );
         let reach = r + self.radius;
         let row_span = (reach / self.row_step).ceil() as i64 + 2;
         let col_span = (reach / self.col_step).ceil() as i64 + 2;

@@ -1,10 +1,27 @@
-//! A compact undirected graph with sorted adjacency lists.
+//! A compact undirected graph with sorted adjacency lists, plus the flat
+//! CSR form the simulator's hot path runs on.
 //!
 //! Both layers of the dual graph (`G` and `G'`) and the detector-induced
 //! graph `H` are represented by [`Graph`]. The representation favors the
 //! access patterns of the simulator: neighbor iteration during delivery,
 //! membership tests during filtering, and whole-graph checks (connectivity,
 //! subgraph containment) during validation.
+//!
+//! # CSR layout
+//!
+//! [`Graph`] is built incrementally (sorted `Vec` per vertex — convenient
+//! for generators), but the engine's delivery loop wants a single
+//! contiguous allocation. [`CsrGraph`] is the frozen form: `offsets` has
+//! `n + 1` entries and the neighbors of `u` are the slice
+//! `neighbors[offsets[u]..offsets[u + 1]]`, sorted ascending and stored as
+//! `u32`. Freeze a graph once with [`Graph::to_csr`]; `DualGraph` does this
+//! at construction for both layers and for the unreliable difference
+//! `E' \ E`.
+//!
+//! Membership tests against a CSR row use [`NeighborStamps`]: load a row
+//! once (`O(deg)`), then each query is an `O(1)` epoch-stamp comparison —
+//! amortized constant when queries are grouped by row, which is how the
+//! engine filters the adversary's proposed unreliable edges.
 
 use crate::ids::NodeId;
 use serde::{Deserialize, Serialize};
@@ -111,10 +128,16 @@ impl Graph {
     /// Returns [`GraphError`] if an endpoint is out of range or `u == v`.
     pub fn try_add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
         if u >= self.n {
-            return Err(GraphError::EndpointOutOfRange { endpoint: u, n: self.n });
+            return Err(GraphError::EndpointOutOfRange {
+                endpoint: u,
+                n: self.n,
+            });
         }
         if v >= self.n {
-            return Err(GraphError::EndpointOutOfRange { endpoint: v, n: self.n });
+            return Err(GraphError::EndpointOutOfRange {
+                endpoint: v,
+                n: self.n,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });
@@ -290,6 +313,131 @@ impl Graph {
         }
         g
     }
+
+    /// Freezes the adjacency into its flat [`CsrGraph`] form.
+    pub fn to_csr(&self) -> CsrGraph {
+        CsrGraph::from_rows(self.n, |u| self.adj[u].iter().map(|&v| v as u32))
+    }
+}
+
+/// Frozen compressed-sparse-row adjacency: one offsets array, one neighbor
+/// array, nothing else. The engine's per-round delivery loop iterates these
+/// slices; see the module docs for the layout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    /// `n + 1` row boundaries into `neighbors`.
+    offsets: Vec<u32>,
+    /// Concatenated neighbor lists, each row sorted ascending.
+    neighbors: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR from a per-row neighbor generator (rows already sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than `u32::MAX` directed edge slots.
+    pub fn from_rows<I>(n: usize, mut row: impl FnMut(usize) -> I) -> Self
+    where
+        I: Iterator<Item = u32>,
+    {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0);
+        for u in 0..n {
+            neighbors.extend(row(u));
+            offsets.push(
+                u32::try_from(neighbors.len()).expect("graph exceeds u32 edge-slot capacity"),
+            );
+        }
+        CsrGraph { offsets, neighbors }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The sorted neighbors of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n`.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.neighbors[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+
+    /// Degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        (self.offsets[u + 1] - self.offsets[u]) as usize
+    }
+
+    /// Total directed edge slots (`2·|E|` for an undirected graph).
+    #[inline]
+    pub fn edge_slots(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Whether `{u, v}` is an edge (`O(log deg)`; for repeated queries
+    /// against one row use [`NeighborStamps`]). Out-of-range queries return
+    /// `false`.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.n() && v < self.n() && self.neighbors(u).binary_search(&(v as u32)).is_ok()
+    }
+}
+
+/// Epoch-stamped row membership tester over a [`CsrGraph`].
+///
+/// `load_row(csr, u)` marks `u`'s neighbors in `O(deg(u))`; `contains(v)`
+/// then answers in `O(1)`. Loading a new row invalidates the previous one
+/// by bumping the epoch — the stamp array is never cleared, so a tester
+/// allocates once and is free thereafter. This is the structure the engine
+/// uses to filter adversary-proposed unreliable edges without the seed
+/// implementation's per-edge binary search.
+#[derive(Debug, Clone)]
+pub struct NeighborStamps {
+    stamps: Vec<u64>,
+    epoch: u64,
+}
+
+impl NeighborStamps {
+    /// A tester for graphs on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        NeighborStamps {
+            stamps: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    /// Loads the neighbor row of `u`, invalidating any previous row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `csr` covers more vertices than this tester.
+    pub fn load_row(&mut self, csr: &CsrGraph, u: usize) {
+        self.epoch += 1;
+        for &v in csr.neighbors(u) {
+            self.stamps[v as usize] = self.epoch;
+        }
+    }
+
+    /// Whether `v` is in the currently loaded row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn contains(&self, v: usize) -> bool {
+        self.stamps[v] == self.epoch
+    }
 }
 
 #[cfg(test)]
@@ -370,5 +518,40 @@ mod tests {
         let g = Graph::from_edges(4, [(2, 1), (0, 3)]).unwrap();
         let edges: Vec<_> = g.edges().collect();
         assert_eq!(edges, vec![(0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn csr_matches_graph() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).unwrap();
+        let csr = g.to_csr();
+        assert_eq!(csr.n(), 5);
+        assert_eq!(csr.edge_slots(), 2 * g.edge_count());
+        for u in 0..5 {
+            let from_csr: Vec<usize> = csr.neighbors(u).iter().map(|&v| v as usize).collect();
+            assert_eq!(from_csr, g.neighbors(u));
+            assert_eq!(csr.degree(u), g.degree(u));
+            for v in 0..5 {
+                assert_eq!(csr.has_edge(u, v), g.has_edge(u, v));
+            }
+        }
+        assert!(!csr.has_edge(0, 9));
+    }
+
+    #[test]
+    fn stamps_answer_row_membership() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (2, 3)]).unwrap();
+        let csr = g.to_csr();
+        let mut stamps = NeighborStamps::new(4);
+        stamps.load_row(&csr, 0);
+        assert!(stamps.contains(1));
+        assert!(stamps.contains(2));
+        assert!(!stamps.contains(3));
+        stamps.load_row(&csr, 3);
+        assert!(stamps.contains(2));
+        assert!(!stamps.contains(1), "old row must be invalidated");
+        // An empty row invalidates everything.
+        let lonely = Graph::new(4).to_csr();
+        stamps.load_row(&lonely, 0);
+        assert!(!stamps.contains(2));
     }
 }

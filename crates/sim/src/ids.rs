@@ -207,7 +207,7 @@ mod tests {
     fn random_is_bijection() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let a = IdAssignment::random(64, &mut rng);
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for v in 0..64 {
             let p = a.id_of(NodeId(v));
             assert!(!seen[p.index()]);

@@ -63,9 +63,9 @@
 
 pub mod adversary;
 mod detector;
-pub mod export;
 mod dynamic;
 mod engine;
+pub mod export;
 pub mod geometry;
 mod graph;
 mod ids;
@@ -78,7 +78,7 @@ pub use adversary::Adversary;
 pub use detector::{LinkDetectorAssignment, SpuriousSource};
 pub use dynamic::{DetectorProvider, DynamicDetector, DynamicDetectorError};
 pub use engine::{Engine, EngineBuilder, EngineError, RunOutcome, SpawnInfo, StopReason};
-pub use graph::{Graph, GraphError};
+pub use graph::{CsrGraph, Graph, GraphError, NeighborStamps};
 pub use ids::{IdAssignment, NodeId, ProcessId};
 pub use network::{DualGraph, NetworkError};
 pub use process::{Action, Context, MessageSize, Process};

@@ -12,7 +12,8 @@
 //! of unpredictable connectivity.
 
 use crate::geometry::Point;
-use crate::graph::Graph;
+use crate::graph::{CsrGraph, Graph};
+use serde::value::{field, DeError, Value};
 use serde::{Deserialize, Serialize};
 
 /// Errors from constructing or validating a [`DualGraph`].
@@ -76,7 +77,10 @@ impl std::fmt::Display for NetworkError {
                 write!(f, "{positions} positions for {n} vertices")
             }
             NetworkError::MissingShortEdge { pair, dist } => {
-                write!(f, "nodes {pair:?} at distance {dist:.3} <= 1 lack a reliable edge")
+                write!(
+                    f,
+                    "nodes {pair:?} at distance {dist:.3} <= 1 lack a reliable edge"
+                )
             }
             NetworkError::EdgeTooLong { edge, dist, d } => {
                 write!(f, "edge {edge:?} has length {dist:.3} > d = {d}")
@@ -90,6 +94,13 @@ impl std::error::Error for NetworkError {}
 
 /// A dual graph radio network `(G, G')`, optionally embedded in the plane.
 ///
+/// Construction freezes both layers into flat CSR adjacency
+/// ([`CsrGraph`]) and precomputes the unreliable difference `E' \ E` as
+/// both a CSR layer and a flat edge list — the forms the engine's
+/// per-round hot path consumes without further allocation or `O(log deg)`
+/// membership searches. A classic network (`G = G'`) stores the reliable
+/// layer once.
+///
 /// # Examples
 ///
 /// ```
@@ -101,14 +112,22 @@ impl std::error::Error for NetworkError {}
 /// assert_eq!(net.n(), 3);
 /// assert!(net.is_unreliable_edge(0, 2));
 /// assert!(!net.is_unreliable_edge(0, 1));
+/// assert_eq!(net.unreliable_csr().neighbors(0), &[2]);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DualGraph {
     g: Graph,
-    g_prime: Graph,
+    /// `None` for classic networks (`G' = G`), avoiding a full duplicate
+    /// adjacency; [`DualGraph::g_prime`] falls back to `g`.
+    g_prime: Option<Graph>,
     positions: Option<Vec<Point>>,
     d: f64,
+    // Frozen hot-path forms, built once at construction.
+    csr_g: CsrGraph,
+    csr_g_prime: Option<CsrGraph>,
+    csr_unreliable: CsrGraph,
+    unreliable_list: Vec<(usize, usize)>,
 }
 
 impl DualGraph {
@@ -120,12 +139,39 @@ impl DualGraph {
     /// `E ⊄ E'`, or `G` is disconnected.
     pub fn new(g: Graph, g_prime: Graph) -> Result<Self, NetworkError> {
         Self::validate_layers(&g, &g_prime)?;
-        Ok(DualGraph {
+        Ok(Self::assemble(g, Some(g_prime), None, 1.0))
+    }
+
+    /// Freezes the CSR forms and the unreliable edge list (layers already
+    /// validated).
+    fn assemble(g: Graph, g_prime: Option<Graph>, positions: Option<Vec<Point>>, d: f64) -> Self {
+        let n = g.n();
+        let csr_g = g.to_csr();
+        // Normalize G' = G to the classic representation.
+        let g_prime = g_prime.filter(|gp| gp.edge_count() != g.edge_count());
+        let (csr_g_prime, csr_unreliable, unreliable_list) = match &g_prime {
+            None => (None, Graph::new(n).to_csr(), Vec::new()),
+            Some(gp) => {
+                let mut unreliable = Graph::new(n);
+                for (u, v) in gp.edges() {
+                    if !g.has_edge(u, v) {
+                        unreliable.add_edge(u, v);
+                    }
+                }
+                let list = unreliable.edges().collect();
+                (Some(gp.to_csr()), unreliable.to_csr(), list)
+            }
+        };
+        DualGraph {
             g,
             g_prime,
-            positions: None,
-            d: 1.0,
-        })
+            positions,
+            d,
+            csr_g,
+            csr_g_prime,
+            csr_unreliable,
+            unreliable_list,
+        }
     }
 
     /// Builds an embedded dual graph and checks the geometric constraints:
@@ -162,25 +208,28 @@ impl DualGraph {
         for (u, v) in g_prime.edges() {
             let dist = positions[u].dist(positions[v]);
             if dist > d + 1e-9 {
-                return Err(NetworkError::EdgeTooLong { edge: (u, v), dist, d });
+                return Err(NetworkError::EdgeTooLong {
+                    edge: (u, v),
+                    dist,
+                    d,
+                });
             }
         }
-        Ok(DualGraph {
-            g,
-            g_prime,
-            positions: Some(positions),
-            d,
-        })
+        Ok(Self::assemble(g, Some(g_prime), Some(positions), d))
     }
 
     /// The classic radio network model: `G = G'` (no unreliable links).
+    ///
+    /// The reliable layer is stored once — no duplicate adjacency is built.
     ///
     /// # Errors
     ///
     /// Returns [`NetworkError::ReliableDisconnected`] if `g` is disconnected.
     pub fn classic(g: Graph) -> Result<Self, NetworkError> {
-        let gp = g.clone();
-        Self::new(g, gp)
+        if !g.is_connected() {
+            return Err(NetworkError::ReliableDisconnected);
+        }
+        Ok(Self::assemble(g, None, None, 1.0))
     }
 
     fn validate_layers(g: &Graph, g_prime: &Graph) -> Result<(), NetworkError> {
@@ -211,10 +260,37 @@ impl DualGraph {
         &self.g
     }
 
-    /// The full layer `G'` (reliable plus unreliable links).
+    /// The full layer `G'` (reliable plus unreliable links). For a classic
+    /// network this is the reliable layer itself.
     #[inline]
     pub fn g_prime(&self) -> &Graph {
-        &self.g_prime
+        self.g_prime.as_ref().unwrap_or(&self.g)
+    }
+
+    /// The reliable layer as frozen CSR adjacency (the engine's hot-path
+    /// form).
+    #[inline]
+    pub fn g_csr(&self) -> &CsrGraph {
+        &self.csr_g
+    }
+
+    /// The full layer `G'` as frozen CSR adjacency.
+    #[inline]
+    pub fn g_prime_csr(&self) -> &CsrGraph {
+        self.csr_g_prime.as_ref().unwrap_or(&self.csr_g)
+    }
+
+    /// The unreliable difference `E' \ E` as frozen CSR adjacency (empty
+    /// rows for a classic network).
+    #[inline]
+    pub fn unreliable_csr(&self) -> &CsrGraph {
+        &self.csr_unreliable
+    }
+
+    /// The unreliable edges as a precomputed flat list of pairs `u < v`.
+    #[inline]
+    pub fn unreliable_edge_list(&self) -> &[(usize, usize)] {
+        &self.unreliable_list
     }
 
     /// Maximum degree `Δ` in the reliable graph.
@@ -226,25 +302,23 @@ impl DualGraph {
     /// Maximum degree `Δ'` in `G'`.
     #[inline]
     pub fn max_degree_g_prime(&self) -> usize {
-        self.g_prime.max_degree()
+        self.g_prime().max_degree()
     }
 
     /// Whether `{u, v}` is an unreliable link (in `E' \ E`).
     #[inline]
     pub fn is_unreliable_edge(&self, u: usize, v: usize) -> bool {
-        self.g_prime.has_edge(u, v) && !self.g.has_edge(u, v)
+        self.csr_unreliable.has_edge(u, v)
     }
 
     /// Iterates the unreliable edges `E' \ E` as pairs with `u < v`.
     pub fn unreliable_edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.g_prime
-            .edges()
-            .filter(move |&(u, v)| !self.g.has_edge(u, v))
+        self.unreliable_list.iter().copied()
     }
 
     /// Number of unreliable edges.
     pub fn unreliable_edge_count(&self) -> usize {
-        self.g_prime.edge_count() - self.g.edge_count()
+        self.unreliable_list.len()
     }
 
     /// Node positions if the network is embedded.
@@ -263,6 +337,43 @@ impl DualGraph {
     /// Whether the network is the classic model (`G = G'`).
     pub fn is_classic(&self) -> bool {
         self.unreliable_edge_count() == 0
+    }
+}
+
+// Serialization carries only the defining data (layers, embedding, gray
+// zone); the CSR caches are rebuilt — and the model constraints revalidated
+// — on deserialization.
+impl Serialize for DualGraph {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("g".to_string(), self.g.to_value()),
+            ("g_prime".to_string(), self.g_prime.to_value()),
+            ("positions".to_string(), self.positions.to_value()),
+            ("d".to_string(), self.d.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for DualGraph {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        let g: Graph = Deserialize::from_value(field(fields, "g"))?;
+        let g_prime: Option<Graph> = Deserialize::from_value(field(fields, "g_prime"))?;
+        let positions: Option<Vec<Point>> = Deserialize::from_value(field(fields, "positions"))?;
+        let d: f64 = Deserialize::from_value(field(fields, "d"))?;
+        let net = match (g_prime, positions) {
+            (None, None) => DualGraph::classic(g),
+            (None, Some(pos)) => {
+                let gp = g.clone();
+                DualGraph::with_embedding(g, gp, pos, d)
+            }
+            (Some(gp), None) => DualGraph::new(g, gp),
+            (Some(gp), Some(pos)) => DualGraph::with_embedding(g, gp, pos, d),
+        }
+        .map_err(|e| DeError::msg(format!("invalid dual graph: {e}")))?;
+        Ok(net)
     }
 }
 

@@ -60,16 +60,24 @@ pub fn clustered<R: Rng>(
     rng: &mut R,
 ) -> Result<DualGraph, TopologyError> {
     if config.clusters == 0 || config.nodes_per_cluster == 0 {
-        return Err(TopologyError::BadConfig { what: "clusters and nodes_per_cluster must be positive" });
+        return Err(TopologyError::BadConfig {
+            what: "clusters and nodes_per_cluster must be positive",
+        });
     }
     if !(config.cluster_radius > 0.0 && config.cluster_radius.is_finite()) {
-        return Err(TopologyError::BadConfig { what: "cluster_radius must be positive" });
+        return Err(TopologyError::BadConfig {
+            what: "cluster_radius must be positive",
+        });
     }
     if !(config.d.is_finite() && config.d >= 1.0) {
-        return Err(TopologyError::BadConfig { what: "d must be >= 1" });
+        return Err(TopologyError::BadConfig {
+            what: "d must be >= 1",
+        });
     }
     if !(0.0..=1.0).contains(&config.gray_prob) {
-        return Err(TopologyError::BadConfig { what: "gray_prob must be in [0, 1]" });
+        return Err(TopologyError::BadConfig {
+            what: "gray_prob must be in [0, 1]",
+        });
     }
     // Cluster centers on a ring sized so adjacent centers are
     // `center_spacing` apart.

@@ -48,25 +48,38 @@ impl GridConfig {
 /// `(0, 1]`, `d < 1`, or `gray_prob` outside `[0, 1]`.
 pub fn grid<R: Rng>(config: &GridConfig, rng: &mut R) -> Result<DualGraph, TopologyError> {
     if config.cols == 0 || config.rows == 0 {
-        return Err(TopologyError::BadConfig { what: "grid must be nonempty" });
+        return Err(TopologyError::BadConfig {
+            what: "grid must be nonempty",
+        });
     }
     if !(config.spacing > 0.0 && config.spacing <= 1.0) {
-        return Err(TopologyError::BadConfig { what: "spacing must be in (0, 1]" });
+        return Err(TopologyError::BadConfig {
+            what: "spacing must be in (0, 1]",
+        });
     }
     if !(config.d.is_finite() && config.d >= 1.0) {
-        return Err(TopologyError::BadConfig { what: "d must be >= 1" });
+        return Err(TopologyError::BadConfig {
+            what: "d must be >= 1",
+        });
     }
     if !(0.0..=1.0).contains(&config.gray_prob) {
-        return Err(TopologyError::BadConfig { what: "gray_prob must be in [0, 1]" });
+        return Err(TopologyError::BadConfig {
+            what: "gray_prob must be in [0, 1]",
+        });
     }
     let mut points = Vec::with_capacity(config.cols * config.rows);
     for r in 0..config.rows {
         for c in 0..config.cols {
-            points.push(Point::new(c as f64 * config.spacing, r as f64 * config.spacing));
+            points.push(Point::new(
+                c as f64 * config.spacing,
+                r as f64 * config.spacing,
+            ));
         }
     }
-    Ok(dual_graph_from_points(points, config.d, config.gray_prob, rng)
-        .expect("lattice with spacing <= 1 is connected"))
+    Ok(
+        dual_graph_from_points(points, config.d, config.gray_prob, rng)
+            .expect("lattice with spacing <= 1 is connected"),
+    )
 }
 
 #[cfg(test)]

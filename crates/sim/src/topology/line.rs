@@ -26,16 +26,24 @@ pub fn line<R: Rng>(
     rng: &mut R,
 ) -> Result<DualGraph, TopologyError> {
     if n == 0 {
-        return Err(TopologyError::BadConfig { what: "n must be positive" });
+        return Err(TopologyError::BadConfig {
+            what: "n must be positive",
+        });
     }
     if !(spacing > 0.0 && spacing <= 1.0) {
-        return Err(TopologyError::BadConfig { what: "spacing must be in (0, 1]" });
+        return Err(TopologyError::BadConfig {
+            what: "spacing must be in (0, 1]",
+        });
     }
     if !(d.is_finite() && d >= 1.0) {
-        return Err(TopologyError::BadConfig { what: "d must be >= 1" });
+        return Err(TopologyError::BadConfig {
+            what: "d must be >= 1",
+        });
     }
     if !(0.0..=1.0).contains(&gray_prob) {
-        return Err(TopologyError::BadConfig { what: "gray_prob must be in [0, 1]" });
+        return Err(TopologyError::BadConfig {
+            what: "gray_prob must be in [0, 1]",
+        });
     }
     let points = (0..n)
         .map(|i| Point::new(i as f64 * spacing, 0.0))

@@ -16,7 +16,9 @@ mod two_clique;
 pub use clustered::{clustered, ClusteredConfig};
 pub use grid::{grid, GridConfig};
 pub use line::line;
-pub use random_geometric::{random_geometric, random_geometric_decay, RandomGeometricConfig, TopologyError};
+pub use random_geometric::{
+    random_geometric, random_geometric_decay, RandomGeometricConfig, TopologyError,
+};
 pub use two_clique::{TwoClique, TwoCliqueError};
 
 use crate::geometry::Point;

@@ -98,16 +98,24 @@ pub fn random_geometric<R: Rng>(
     rng: &mut R,
 ) -> Result<DualGraph, TopologyError> {
     if config.n == 0 {
-        return Err(TopologyError::BadConfig { what: "n must be positive" });
+        return Err(TopologyError::BadConfig {
+            what: "n must be positive",
+        });
     }
     if !(config.side.is_finite() && config.side > 0.0) {
-        return Err(TopologyError::BadConfig { what: "side must be positive" });
+        return Err(TopologyError::BadConfig {
+            what: "side must be positive",
+        });
     }
     if !(config.d.is_finite() && config.d >= 1.0) {
-        return Err(TopologyError::BadConfig { what: "d must be >= 1" });
+        return Err(TopologyError::BadConfig {
+            what: "d must be >= 1",
+        });
     }
     if !(0.0..=1.0).contains(&config.gray_prob) {
-        return Err(TopologyError::BadConfig { what: "gray_prob must be in [0, 1]" });
+        return Err(TopologyError::BadConfig {
+            what: "gray_prob must be in [0, 1]",
+        });
     }
     for _ in 0..config.max_attempts.max(1) {
         let points: Vec<Point> = (0..config.n)
@@ -145,16 +153,24 @@ pub fn random_geometric_decay<R: Rng>(
     rng: &mut R,
 ) -> Result<crate::network::DualGraph, TopologyError> {
     if config.n == 0 {
-        return Err(TopologyError::BadConfig { what: "n must be positive" });
+        return Err(TopologyError::BadConfig {
+            what: "n must be positive",
+        });
     }
     if !(config.side.is_finite() && config.side > 0.0) {
-        return Err(TopologyError::BadConfig { what: "side must be positive" });
+        return Err(TopologyError::BadConfig {
+            what: "side must be positive",
+        });
     }
     if !(config.d.is_finite() && config.d >= 1.0) {
-        return Err(TopologyError::BadConfig { what: "d must be >= 1" });
+        return Err(TopologyError::BadConfig {
+            what: "d must be >= 1",
+        });
     }
     if !(0.0..=1.0).contains(&p_near) || !(0.0..=1.0).contains(&p_far) {
-        return Err(TopologyError::BadConfig { what: "probabilities must be in [0, 1]" });
+        return Err(TopologyError::BadConfig {
+            what: "probabilities must be in [0, 1]",
+        });
     }
     for _ in 0..config.max_attempts.max(1) {
         let points: Vec<Point> = (0..config.n)
@@ -175,7 +191,11 @@ pub fn random_geometric_decay<R: Rng>(
                     g.add_edge(u, v);
                     gp.add_edge(u, v);
                 } else if dist <= config.d {
-                    let t = if config.d > 1.0 { (dist - 1.0) / (config.d - 1.0) } else { 0.0 };
+                    let t = if config.d > 1.0 {
+                        (dist - 1.0) / (config.d - 1.0)
+                    } else {
+                        0.0
+                    };
                     let prob = p_near + t * (p_far - p_near);
                     if rng.gen_bool(prob.clamp(0.0, 1.0)) {
                         gp.add_edge(u, v);
@@ -186,8 +206,10 @@ pub fn random_geometric_decay<R: Rng>(
         if !g.is_connected() {
             continue;
         }
-        return Ok(crate::network::DualGraph::with_embedding(g, gp, points, config.d)
-            .expect("construction satisfies the geometric constraints"));
+        return Ok(
+            crate::network::DualGraph::with_embedding(g, gp, points, config.d)
+                .expect("construction satisfies the geometric constraints"),
+        );
     }
     Err(TopologyError::Disconnected {
         attempts: config.max_attempts.max(1),
@@ -235,11 +257,16 @@ mod tests {
     #[test]
     fn expected_degree_scales_density() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        let sparse = random_geometric(&RandomGeometricConfig::with_expected_degree(128, 8.0), &mut rng);
+        let sparse = random_geometric(
+            &RandomGeometricConfig::with_expected_degree(128, 8.0),
+            &mut rng,
+        );
         let mut rng2 = rand::rngs::StdRng::seed_from_u64(9);
-        let dense =
-            random_geometric(&RandomGeometricConfig::with_expected_degree(128, 24.0), &mut rng2)
-                .unwrap();
+        let dense = random_geometric(
+            &RandomGeometricConfig::with_expected_degree(128, 24.0),
+            &mut rng2,
+        )
+        .unwrap();
         if let Ok(sparse) = sparse {
             assert!(dense.max_degree_g() > sparse.max_degree_g());
         }

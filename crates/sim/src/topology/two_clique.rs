@@ -163,7 +163,11 @@ impl TwoClique {
         let b_ids: BTreeSet<u32> = (self.beta..n).map(id_of).collect();
         let sets = (0..n)
             .map(|v| {
-                let mut s = if v < self.beta { a_ids.clone() } else { b_ids.clone() };
+                let mut s = if v < self.beta {
+                    a_ids.clone()
+                } else {
+                    b_ids.clone()
+                };
                 s.remove(&id_of(v)); // never contains the node's own id
                 if v < self.beta {
                     s.insert(id_of(self.bridge_b));
@@ -194,7 +198,11 @@ mod tests {
             }
         }
         // Exactly one cross edge: the bridge (2, 8).
-        let cross: Vec<_> = net.g().edges().filter(|&(u, v)| (u < 5) != (v < 5)).collect();
+        let cross: Vec<_> = net
+            .g()
+            .edges()
+            .filter(|&(u, v)| (u < 5) != (v < 5))
+            .collect();
         assert_eq!(cross, vec![(2, 8)]);
         assert_eq!(tc.bridge_a(), NodeId(2));
         assert_eq!(tc.bridge_b(), NodeId(8));
@@ -223,7 +231,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_parameters() {
-        assert_eq!(TwoClique::new(1, 0, 0).unwrap_err(), TwoCliqueError::BetaTooSmall);
+        assert_eq!(
+            TwoClique::new(1, 0, 0).unwrap_err(),
+            TwoCliqueError::BetaTooSmall
+        );
         assert_eq!(
             TwoClique::new(3, 3, 0).unwrap_err(),
             TwoCliqueError::BridgeOutOfRange

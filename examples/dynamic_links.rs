@@ -6,8 +6,7 @@
 //! ```
 
 use radio_sim::{
-    DualGraph, DynamicDetector, EngineBuilder, Graph, IdAssignment, LinkDetectorAssignment,
-    NodeId,
+    DualGraph, DynamicDetector, EngineBuilder, Graph, IdAssignment, LinkDetectorAssignment, NodeId,
 };
 use radio_structures::checker::check_ccds;
 use radio_structures::{CcdsConfig, ContinuousCcds};
@@ -41,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let dyn_det = DynamicDetector::new(vec![(1, sparse), (stabilize_at, good.clone())])?;
     let h = good.h_graph(&ids);
-    let mut engine = EngineBuilder::new(net.clone())
+    let mut engine = EngineBuilder::new(net)
         .seed(5)
         .detector(dyn_det)
         .spawn(|info| ContinuousCcds::new(&cfg, info.id).expect("validated config"))?;
@@ -49,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Theorem 8.1: solved by stabilization + 2δ.
     let deadline = stabilize_at + 2 * delta;
     engine.run_rounds(deadline + 1);
-    let report = check_ccds(&net, &h, &engine.outputs());
+    let report = check_ccds(engine.net(), &h, &engine.outputs());
     println!(
         "at round {}: terminated = {}, connected = {}, dominating = {} (cycles completed: {})",
         engine.round(),

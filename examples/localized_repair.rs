@@ -29,15 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Run the repair loop and verify each published structure.
-    let h = net.g().clone();
-    let mut engine = EngineBuilder::new(net.clone())
+    let mut engine = EngineBuilder::new(net)
         .seed(9)
         .spawn(|info| RepairingCcds::new(&cfg, info.id).expect("validated config"))?;
     let boot = engine.procs()[0].bootstrap_len();
     let repair = engine.procs()[0].repair_len();
     engine.run_rounds(boot + 1);
     for cycle in 0..3u64 {
-        let report = check_ccds(&net, &h, &engine.outputs());
+        let report = check_ccds(engine.net(), engine.net().g(), &engine.outputs());
         println!(
             "after {} repair cycles: connected = {}, dominating = {}, size = {}",
             cycle, report.connected, report.dominating, report.ccds_size

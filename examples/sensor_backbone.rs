@@ -65,8 +65,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (mut src, mut dst, mut best) = (0, 0, 0);
     for v in 0..net.n() {
         let d = g.bfs_distances(v);
-        for u in 0..net.n() {
-            if let Some(x) = d[u] {
+        for (u, du) in d.iter().enumerate() {
+            if let Some(x) = *du {
                 if x > best {
                     best = x;
                     src = v;

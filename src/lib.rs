@@ -1,0 +1,15 @@
+//! Umbrella crate for the *Structuring Unreliable Radio Networks*
+//! reproduction workspace.
+//!
+//! The implementation lives in the member crates — [`radio_sim`] (the dual
+//! graph simulator), [`radio_structures`] (MIS/CCDS algorithms),
+//! [`hitting_games`] (the Ω(Δ) lower bound), [`radio_baselines`], and
+//! [`radio_bench`] (the experiment harness). This crate exists to own the
+//! workspace-level integration tests under `tests/` and the runnable
+//! `examples/`, and re-exports the member crates for convenience.
+
+pub use hitting_games;
+pub use radio_baselines;
+pub use radio_bench;
+pub use radio_sim;
+pub use radio_structures;

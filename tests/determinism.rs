@@ -1,0 +1,280 @@
+//! Determinism regression tests for the engine rewrite.
+//!
+//! The scratch-buffer engine (`Engine::step`) must produce executions
+//! *identical* to the seed implementation (`Engine::step_legacy`) — same
+//! per-round trace (broadcasters, deliveries, collisions, activated
+//! edges), same metrics, same outputs — for every adversary, because both
+//! drive the same process RNG streams. And the parallel trial runner must
+//! be bit-identical to the serial loop it replaced.
+
+use radio_sim::adversary::{
+    AllUnreliable, BurstyUnreliable, CliqueIsolator, Collider, RandomUnreliable, ReliableOnly,
+};
+use radio_sim::topology::{random_geometric, RandomGeometricConfig};
+use radio_sim::{Action, Adversary, Context, DualGraph, EngineBuilder, Graph, Process, Trace};
+use rand::SeedableRng;
+
+/// A randomized chatterer with a per-node output round, exercising decide,
+/// receive, outputs, and the RNG streams.
+struct Talker {
+    heard: Vec<Option<u32>>,
+    done_after: u64,
+    rounds: u64,
+}
+
+impl Process for Talker {
+    type Msg = u32;
+
+    fn decide(&mut self, ctx: &mut Context<'_>) -> Action<u32> {
+        use rand::Rng;
+        self.rounds += 1;
+        if ctx.rng.gen_bool(0.2) {
+            Action::Broadcast(ctx.my_id.get() * 1000 + (self.rounds % 997) as u32)
+        } else {
+            Action::Idle
+        }
+    }
+
+    fn receive(&mut self, _: &mut Context<'_>, msg: Option<&u32>) {
+        self.heard.push(msg.copied());
+    }
+
+    fn output(&self) -> Option<bool> {
+        (self.rounds >= self.done_after).then_some(true)
+    }
+
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+fn nets() -> Vec<(&'static str, DualGraph)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let rgg = random_geometric(&RandomGeometricConfig::dense(48), &mut rng)
+        .expect("dense configuration connects");
+    let path_with_chords = {
+        let g = Graph::from_edges(16, (0..15).map(|i| (i, i + 1))).expect("path");
+        let mut gp = g.clone();
+        for i in 0..14 {
+            gp.add_edge(i, i + 2);
+        }
+        DualGraph::new(g, gp).expect("valid dual graph")
+    };
+    let classic = DualGraph::classic(Graph::complete(10)).expect("connected");
+    vec![
+        ("rgg-48", rgg),
+        ("chords-16", path_with_chords),
+        ("clique-10", classic),
+    ]
+}
+
+type AdversaryFactory = Box<dyn Fn() -> Box<dyn Adversary>>;
+
+fn adversaries() -> Vec<(&'static str, AdversaryFactory)> {
+    vec![
+        ("reliable-only", Box::new(|| Box::new(ReliableOnly))),
+        ("all-unreliable", Box::new(|| Box::new(AllUnreliable))),
+        (
+            "random-0.5",
+            Box::new(|| Box::new(RandomUnreliable::new(0.5, 5))),
+        ),
+        (
+            "random-0.1",
+            Box::new(|| Box::new(RandomUnreliable::new(0.1, 5))),
+        ),
+        ("collider", Box::new(|| Box::new(Collider))),
+        (
+            "bursty",
+            Box::new(|| Box::new(BurstyUnreliable::new(0.1, 0.1, 6))),
+        ),
+        ("isolator", Box::new(|| Box::new(CliqueIsolator))),
+    ]
+}
+
+/// Everything observable about one execution: trace, per-node receive
+/// transcripts, outputs, and aggregate metrics.
+type Capture = (
+    Option<Trace>,
+    Vec<Vec<Option<u32>>>,
+    Vec<Option<bool>>,
+    radio_sim::ExecutionMetrics,
+);
+
+/// Runs `rounds` rounds and captures a [`Capture`] for either engine
+/// implementation.
+fn capture(
+    net: &DualGraph,
+    adversary: Box<dyn Adversary>,
+    seed: u64,
+    rounds: u64,
+    legacy: bool,
+    record_trace: bool,
+) -> Capture {
+    let mut engine = EngineBuilder::new(net.clone())
+        .seed(seed)
+        .adversary(adversary)
+        .record_trace(record_trace)
+        .spawn(|info| Talker {
+            heard: Vec::new(),
+            done_after: 10 + info.id.get() as u64 % 7,
+            rounds: 0,
+        })
+        .expect("engine assembles");
+    for _ in 0..rounds {
+        if legacy {
+            engine.step_legacy();
+        } else {
+            engine.step();
+        }
+    }
+    let heard = engine.procs().iter().map(|p| p.heard.clone()).collect();
+    (
+        engine.trace().cloned(),
+        heard,
+        engine.outputs(),
+        *engine.metrics(),
+    )
+}
+
+#[test]
+fn golden_trace_scratch_matches_legacy() {
+    for (net_name, net) in nets() {
+        for (adv_name, make) in adversaries() {
+            for seed in [1u64, 42] {
+                let new = capture(&net, make(), seed, 60, false, true);
+                let old = capture(&net, make(), seed, 60, true, true);
+                assert_eq!(
+                    new.0, old.0,
+                    "trace diverged on {net_name}/{adv_name}/seed {seed}"
+                );
+                assert_eq!(
+                    new.1, old.1,
+                    "receive transcripts diverged on {net_name}/{adv_name}/seed {seed}"
+                );
+                assert_eq!(new.2, old.2, "outputs diverged on {net_name}/{adv_name}");
+                assert_eq!(new.3, old.3, "metrics diverged on {net_name}/{adv_name}");
+            }
+        }
+    }
+}
+
+#[test]
+fn tracing_off_does_not_change_behavior() {
+    // The no-trace fast path skips non-incident proposal processing; the
+    // observable execution must be unchanged.
+    for (net_name, net) in nets() {
+        for (adv_name, make) in adversaries() {
+            let traced = capture(&net, make(), 7, 60, false, true);
+            let untraced = capture(&net, make(), 7, 60, false, false);
+            assert_eq!(
+                traced.1, untraced.1,
+                "transcripts diverged on {net_name}/{adv_name}"
+            );
+            assert_eq!(
+                traced.2, untraced.2,
+                "outputs diverged on {net_name}/{adv_name}"
+            );
+            assert_eq!(
+                traced.3, untraced.3,
+                "metrics diverged on {net_name}/{adv_name}"
+            );
+        }
+    }
+}
+
+/// An adversary emitting unsorted, duplicated, reversed, and invalid
+/// pairs — exercising the engine's disorder fallback path.
+struct MessyAdversary {
+    inner: RandomUnreliable,
+}
+
+impl Adversary for MessyAdversary {
+    fn extra_edges(
+        &mut self,
+        round: u64,
+        net: &DualGraph,
+        broadcasting: &[bool],
+        out: &mut Vec<(usize, usize)>,
+    ) {
+        self.inner.extra_edges(round, net, broadcasting, out);
+        // Duplicate everything reversed, append garbage, and scramble.
+        let picked: Vec<(usize, usize)> = out.clone();
+        for &(u, v) in &picked {
+            out.push((v, u));
+        }
+        out.push((net.n() + 5, 0));
+        out.push((3, 3));
+        out.reverse();
+    }
+
+    fn name(&self) -> &'static str {
+        "messy"
+    }
+}
+
+#[test]
+fn disorderly_adversaries_are_normalized_identically() {
+    for (net_name, net) in nets() {
+        let new = capture(
+            &net,
+            Box::new(MessyAdversary {
+                inner: RandomUnreliable::new(0.4, 9),
+            }),
+            3,
+            60,
+            false,
+            true,
+        );
+        let old = capture(
+            &net,
+            Box::new(MessyAdversary {
+                inner: RandomUnreliable::new(0.4, 9),
+            }),
+            3,
+            60,
+            true,
+            true,
+        );
+        assert_eq!(new.0, old.0, "trace diverged on {net_name}/messy");
+        assert_eq!(new.1, old.1, "transcripts diverged on {net_name}/messy");
+        assert_eq!(new.3, old.3, "metrics diverged on {net_name}/messy");
+        // And the no-trace path agrees on everything observable.
+        let untraced = capture(
+            &net,
+            Box::new(MessyAdversary {
+                inner: RandomUnreliable::new(0.4, 9),
+            }),
+            3,
+            60,
+            false,
+            false,
+        );
+        assert_eq!(
+            new.1, untraced.1,
+            "no-trace transcripts diverged on {net_name}/messy"
+        );
+        assert_eq!(
+            new.3, untraced.3,
+            "no-trace metrics diverged on {net_name}/messy"
+        );
+    }
+}
+
+#[test]
+fn parallel_trials_match_serial() {
+    let trial = |s: u64| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(500 + s);
+        let net = random_geometric(&RandomGeometricConfig::dense(32), &mut rng)
+            .expect("dense configuration connects");
+        let run = radio_structures::runner::run_mis(
+            &net,
+            radio_structures::params::MisParams::default(),
+            radio_structures::runner::AdversaryKind::Random { p: 0.5 },
+            s,
+        );
+        (run.outputs, run.solve_round, run.metrics)
+    };
+    let parallel = radio_bench::run_trials(8, trial);
+    let serial: Vec<_> = (0..8).map(trial).collect();
+    assert_eq!(parallel, serial);
+}

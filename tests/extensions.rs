@@ -5,8 +5,7 @@
 use radio_sim::export::{metrics_to_csv, trace_to_csv};
 use radio_sim::topology::{random_geometric, random_geometric_decay, RandomGeometricConfig};
 use radio_sim::{
-    DualGraph, DynamicDetector, EngineBuilder, Graph, IdAssignment, LinkDetectorAssignment,
-    NodeId,
+    DualGraph, DynamicDetector, EngineBuilder, Graph, IdAssignment, LinkDetectorAssignment, NodeId,
 };
 use radio_structures::analysis::backbone_quality;
 use radio_structures::checker::check_ccds;
@@ -40,7 +39,16 @@ fn ccds_valid_on_distance_decay_gray_zone() {
     let net =
         random_geometric_decay(&RandomGeometricConfig::dense(48), 0.9, 0.05, &mut rng).unwrap();
     let cfg = CcdsConfig::new(net.n(), net.max_degree_g(), 512);
-    let run = run_ccds(&net, &cfg, AdversaryKind::Bursty { p_gb: 0.05, p_bg: 0.05 }, 5).unwrap();
+    let run = run_ccds(
+        &net,
+        &cfg,
+        AdversaryKind::Bursty {
+            p_gb: 0.05,
+            p_bg: 0.05,
+        },
+        5,
+    )
+    .unwrap();
     assert!(
         run.report.terminated && run.report.connected && run.report.dominating,
         "{:?}",

@@ -58,7 +58,10 @@ fn schedule_shrinks_as_b_grows() {
     let mut totals = Vec::new();
     for b in [64u64, 128, 256, 512, 1024, 2048, 4096] {
         let total = CcdsConfig::new(n, delta, b).schedule().unwrap().total;
-        assert!(total <= last, "schedule must be monotone non-increasing in b");
+        assert!(
+            total <= last,
+            "schedule must be monotone non-increasing in b"
+        );
         last = total;
         totals.push(total);
     }

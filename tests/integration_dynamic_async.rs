@@ -3,21 +3,19 @@
 
 use radio_sim::topology::{random_geometric, RandomGeometricConfig};
 use radio_sim::{
-    DualGraph, DynamicDetector, EngineBuilder, Graph, IdAssignment, LinkDetectorAssignment,
-    NodeId, StopReason,
+    DualGraph, DynamicDetector, EngineBuilder, Graph, IdAssignment, LinkDetectorAssignment, NodeId,
+    StopReason,
 };
 use radio_structures::checker::check_ccds;
-use radio_structures::{
-    AsyncFilter, AsyncMis, AsyncMisParams, CcdsConfig, ContinuousCcds,
-};
+use radio_structures::{AsyncFilter, AsyncMis, AsyncMisParams, CcdsConfig, ContinuousCcds};
 use rand::SeedableRng;
 
 fn valid_mis(g: &Graph, out: &[Option<bool>]) -> bool {
     out.iter().all(Option::is_some)
-        && g.edges().all(|(u, v)| !(out[u] == Some(true) && out[v] == Some(true)))
-        && (0..g.n()).all(|v| {
-            out[v] != Some(false) || g.neighbors(v).iter().any(|&u| out[u] == Some(true))
-        })
+        && g.edges()
+            .all(|(u, v)| !(out[u] == Some(true) && out[v] == Some(true)))
+        && (0..g.n())
+            .all(|v| out[v] != Some(false) || g.neighbors(v).iter().any(|&u| out[u] == Some(true)))
 }
 
 #[test]
@@ -44,9 +42,11 @@ fn theorem_8_1_recovery_deadline() {
         .unwrap()
         .cycle_len();
     for stabilize_at in [2u64, delta / 3, delta - 1] {
-        let dyn_det =
-            DynamicDetector::new(vec![(1, sparse.clone()), (stabilize_at.max(2), good.clone())])
-                .unwrap();
+        let dyn_det = DynamicDetector::new(vec![
+            (1, sparse.clone()),
+            (stabilize_at.max(2), good.clone()),
+        ])
+        .unwrap();
         let h = good.h_graph(&ids);
         let mut engine = EngineBuilder::new(net.clone())
             .seed(31)

@@ -55,7 +55,12 @@ fn mis_on_grid_and_line_and_clusters() {
 fn mis_density_respects_corollary_4_7() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(102);
     let net = random_geometric(&RandomGeometricConfig::dense(96), &mut rng).unwrap();
-    let run = run_mis(&net, MisParams::default(), AdversaryKind::Random { p: 0.5 }, 9);
+    let run = run_mis(
+        &net,
+        MisParams::default(),
+        AdversaryKind::Random { p: 0.5 },
+        9,
+    );
     assert!(run.report.is_valid());
     for r in [1.0, 2.0, 4.0] {
         let got = mis_density_within(&net, &run.outputs, r).unwrap();

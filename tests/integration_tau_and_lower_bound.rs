@@ -122,5 +122,8 @@ fn reduction_produces_a_working_double_player() {
         TauCcds::new(&cfg, pid)
     });
     let out = play_double(beta, 3, 2, &mut pa, &mut pb, budget);
-    assert!(out.solved_at.is_some(), "the simulated CCDS must solve the game");
+    assert!(
+        out.solved_at.is_some(),
+        "the simulated CCDS must solve the game"
+    );
 }

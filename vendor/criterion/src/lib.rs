@@ -1,0 +1,257 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the benchmarking surface the `benches/` targets use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple measurement loop: warm up for `warm_up_time`, then run
+//! `sample_size` samples (each sized to fill `measurement_time /
+//! sample_size`) and report mean / min / max per-iteration wall time.
+//!
+//! `CRITERION_QUICK=1` shrinks warm-up and measurement windows to smoke
+//! levels so CI can run every bench target in seconds.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// An identifier of one benchmark within a group, e.g. `solve/128`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// The measurement driver handed to bench closures.
+pub struct Bencher<'a> {
+    stats: &'a mut SampleStats,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+/// Accumulated per-iteration timings for one benchmark.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SampleStats {
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Fastest sample's seconds per iteration.
+    pub min_s: f64,
+    /// Slowest sample's seconds per iteration.
+    pub max_s: f64,
+    /// Total iterations executed during measurement.
+    pub iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, warm-up then samples; the closure's return value is
+    /// passed through [`black_box`] so the computation isn't elided.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up window elapses, measuring the
+        // rough per-iteration cost to size measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((self.measurement.as_secs_f64() / self.sample_size as f64)
+            / per_iter.max(1e-9))
+        .ceil()
+        .max(1.0) as u64;
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() / batch as f64);
+            total_iters += batch;
+        }
+        let sum: f64 = samples.iter().sum();
+        *self.stats = SampleStats {
+            mean_s: sum / samples.len() as f64,
+            min_s: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max_s: samples.iter().copied().fold(0.0, f64::max),
+            iters: total_iters,
+        };
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1" || v == "true")
+}
+
+/// Formats seconds human-readably (ns/µs/ms/s).
+fn fmt_time(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measurement window (split across samples).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        if !quick_mode() {
+            self.measurement = d;
+        }
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        if !quick_mode() {
+            self.warm_up = d;
+        }
+        self
+    }
+
+    /// Sets the number of samples.
+    pub fn sample_size(&mut self, k: usize) -> &mut Self {
+        self.sample_size = k.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        let mut stats = SampleStats::default();
+        let mut b = Bencher {
+            stats: &mut stats,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        println!(
+            "bench {full:<40} mean {:>10}  (min {}, max {}, {} iters)",
+            fmt_time(stats.mean_s),
+            fmt_time(stats.min_s),
+            fmt_time(stats.max_s),
+            stats.iters,
+        );
+        self.criterion.results.push((full, stats));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (drop would do; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// `(name, stats)` for every benchmark run, in execution order.
+    pub results: Vec<(String, SampleStats)>,
+}
+
+impl Criterion {
+    /// Opens a named group with default settings (3 s measure, 1 s warm-up,
+    /// 10 samples; `CRITERION_QUICK=1` shrinks to 60 ms total).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (warm_up, measurement) = if quick_mode() {
+            (Duration::from_millis(10), Duration::from_millis(50))
+        } else {
+            (Duration::from_secs(1), Duration::from_secs(3))
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            warm_up,
+            measurement,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.benchmark_group(name.to_string())
+            .bench_function("run", f);
+        self
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

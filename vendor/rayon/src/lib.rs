@@ -1,0 +1,195 @@
+//! Offline, API-compatible subset of `rayon`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the slice of rayon's API the experiment harness uses — `into_par_iter`
+//! / `par_iter` followed by `map(...).collect()` — implemented with
+//! `std::thread::scope` over contiguous chunks. Results are written back
+//! by original index, so `collect` yields exactly the serial order: with
+//! per-item derived seeds, parallel runs are bit-identical to serial ones.
+
+use std::num::NonZeroUsize;
+
+/// Commonly imported traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of worker threads to use (`RAYON_NUM_THREADS` overrides the
+/// machine's available parallelism, matching upstream's env knob).
+fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(k) = v.parse::<usize>() {
+            if k >= 1 {
+                return k;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to [`thread_count`] scoped threads,
+/// preserving input order in the output.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let len = items.len();
+    let threads = thread_count().min(len);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    // Deal items round-robin so a slow prefix doesn't serialize on one
+    // worker; worker w owns items w, w+threads, w+2·threads, … and the
+    // matching (disjoint) `&mut` output slots.
+    let mut work: Vec<Vec<T>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        work[i % threads].push(item);
+    }
+    let mut worker_slots: Vec<Vec<&mut Option<R>>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, slot) in slots.iter_mut().enumerate() {
+        worker_slots[i % threads].push(slot);
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        for (chunk, outs) in work.drain(..).zip(worker_slots) {
+            scope.spawn(move || {
+                for (item, slot) in chunk.into_iter().zip(outs) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot written by exactly one worker"))
+        .collect()
+}
+
+/// A materialized parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// The result of [`ParIter::map`]; terminal operation is [`ParMap::collect`].
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each item through `f` (executed in parallel at `collect`).
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map(self.items, f);
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Executes the map in parallel and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// Types convertible into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+        impl IntoParallelIterator for std::ops::RangeInclusive<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range!(u32, u64, usize);
+
+/// Types whose references convert into a parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+
+    /// Parallel iterator over `&self`'s items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * x).collect();
+        let expect: Vec<u64> = (0u64..1000).map(|x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let xs = vec![3u32, 1, 4, 1, 5];
+        let out: Vec<u32> = xs.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![4, 2, 5, 2, 6]);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = AtomicU64::new(0);
+        (1u64..=100).into_par_iter().for_each(|x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+}

@@ -1,0 +1,120 @@
+//! The JSON-shaped value tree the vendored serde serializes through.
+
+/// A JSON-shaped dynamic value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative (or any signed) integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// Shared `null` used when an object key is absent (so `Option` fields
+/// deserialize to `None` without allocating).
+pub static NULL: Value = Value::Null;
+
+impl Value {
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(u) => Some(*u),
+            Value::I64(i) => u64::try_from(*i).ok(),
+            Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 && *f < 2f64.powi(64) => Some(*f as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(i) => Some(*i),
+            Value::U64(u) => i64::try_from(*u).ok(),
+            Value::F64(f) if f.fract() == 0.0 && f.abs() < 2f64.powi(63) => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(f) => Some(*f),
+            Value::U64(u) => Some(*u as f64),
+            Value::I64(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value's fields if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The value's items if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A one-word description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Looks up `key` in an object's fields; absent keys yield `null` (so
+/// optional fields deserialize as `None`). Used by derived `Deserialize`.
+pub fn field<'a>(fields: &'a [(String, Value)], key: &str) -> &'a Value {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map_or(&NULL, |(_, v)| v)
+}
+
+/// A deserialization shape/type mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Error for a value of the wrong kind.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", got.kind()))
+    }
+
+    /// Error with a custom message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}

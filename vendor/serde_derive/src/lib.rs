@@ -1,0 +1,350 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! `syn`/`quote` are not available offline, so the item is parsed directly
+//! from the `proc_macro` token stream. Supported shapes — the only ones
+//! this repository declares — are structs with named fields, tuple/newtype
+//! structs, unit structs, and enums whose variants are unit or
+//! struct-like. Generic types and `#[serde(...)]` attributes are not
+//! supported and panic with a clear message at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Shape)>,
+    },
+}
+
+/// Skips one attribute (`#` already consumed ⇒ consume the `[...]` group).
+fn skip_attr(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+        other => panic!("expected [...] after # in attribute, found {other:?}"),
+    }
+}
+
+/// Consumes leading attributes and a visibility modifier, if present.
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                skip_attr(iter);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses the field names of a named-fields brace group.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = group.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("expected field name, found {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected : after field {name}, found {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type: angle brackets are bare puncts in the stream, so
+        // track their depth to find the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple-struct paren group.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut count = 0;
+    let mut angle_depth = 0i32;
+    let mut saw_token = false;
+    for tt in group {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<(String, Shape)> {
+    let mut variants = Vec::new();
+    let mut iter = group.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("expected variant name, found {other:?}"),
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                iter.next();
+                Shape::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("vendored serde derive does not support tuple enum variants ({name})")
+            }
+            _ => Shape::Unit,
+        };
+        variants.push((name, shape));
+        // Skip an optional discriminant, then the separating comma.
+        for tt in iter.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct or enum, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde derive does not support generic type {name}");
+    }
+    match (kind.as_str(), iter.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::Struct {
+                name,
+                shape: Shape::Named(parse_named_fields(g.stream())),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::Struct {
+                name,
+                shape: Shape::Tuple(count_tuple_fields(g.stream())),
+            }
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Item::Struct {
+            name,
+            shape: Shape::Unit,
+        },
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Item::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        },
+        (k, t) => panic!("unsupported item shape for {name}: {k} followed by {t:?}"),
+    }
+}
+
+fn named_to_value(fields: &[String], prefix: &str) -> String {
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&{prefix}{f})),"
+            )
+        })
+        .collect();
+    format!("::serde::value::Value::Object(::std::vec![{pushes}])")
+}
+
+fn named_from_value(ty_path: &str, fields: &[String], source: &str) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::value::field({source}, \"{f}\"))?,"
+            )
+        })
+        .collect();
+    format!("{ty_path} {{ {inits} }}")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, shape } => {
+            let to = match &shape {
+                Shape::Named(fields) => named_to_value(fields, "self."),
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(k) => {
+                    let items: String = (0..*k)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                        .collect();
+                    format!("::serde::value::Value::Array(::std::vec![{items}])")
+                }
+                Shape::Unit => "::serde::value::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::value::Value {{ {to} }}
+                }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    Shape::Unit => format!(
+                        "{name}::{v} => ::serde::value::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Shape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let inner = named_to_value(fields, "");
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::value::Value::Object(::std::vec![
+                                (::std::string::String::from(\"{v}\"), {inner}),
+                            ]),"
+                        )
+                    }
+                    Shape::Tuple(_) => unreachable!("rejected during parsing"),
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::value::Value {{
+                        match self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+    };
+    body.parse().expect("derived Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, shape } => {
+            let from = match &shape {
+                Shape::Named(fields) => {
+                    let build = named_from_value(&name, fields, "fields");
+                    format!(
+                        "let fields = v.as_object()
+                             .ok_or_else(|| ::serde::value::DeError::expected(\"object\", v))?;
+                         ::std::result::Result::Ok({build})"
+                    )
+                }
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Shape::Tuple(k) => {
+                    let inits: String = (0..*k)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                        .collect();
+                    format!(
+                        "let items = v.as_array()
+                             .ok_or_else(|| ::serde::value::DeError::expected(\"array\", v))?;
+                         if items.len() != {k} {{
+                             return ::std::result::Result::Err(
+                                 ::serde::value::DeError::msg(\"tuple arity mismatch\"));
+                         }}
+                         ::std::result::Result::Ok({name}({inits}))"
+                    )
+                }
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::value::Value)
+                        -> ::std::result::Result<Self, ::serde::value::DeError> {{ {from} }}
+                }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, Shape::Unit))
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let struct_arms: String = variants
+                .iter()
+                .filter_map(|(v, s)| match s {
+                    Shape::Named(fields) => {
+                        let build = named_from_value(&format!("{name}::{v}"), fields, "fields");
+                        Some(format!(
+                            "\"{v}\" => {{
+                                let fields = inner.as_object()
+                                    .ok_or_else(|| ::serde::value::DeError::expected(\"object\", inner))?;
+                                ::std::result::Result::Ok({build})
+                            }}"
+                        ))
+                    }
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::value::Value)
+                        -> ::std::result::Result<Self, ::serde::value::DeError> {{
+                        match v {{
+                            ::serde::value::Value::Str(s) => match s.as_str() {{
+                                {unit_arms}
+                                _ => ::std::result::Result::Err(::serde::value::DeError::msg(
+                                    ::std::format!(\"unknown variant {{s}} of {name}\"))),
+                            }},
+                            ::serde::value::Value::Object(o) if o.len() == 1 => {{
+                                let (tag, inner) = (&o[0].0, &o[0].1);
+                                let _ = inner;
+                                match tag.as_str() {{
+                                    {struct_arms}
+                                    _ => ::std::result::Result::Err(::serde::value::DeError::msg(
+                                        ::std::format!(\"unknown variant {{tag}} of {name}\"))),
+                                }}
+                            }}
+                            other => ::std::result::Result::Err(
+                                ::serde::value::DeError::expected(\"enum tag\", other)),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    };
+    body.parse().expect("derived Deserialize impl parses")
+}
