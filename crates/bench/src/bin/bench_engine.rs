@@ -5,10 +5,20 @@
 //! Usage:
 //!
 //! ```text
-//! bench_engine            # full measurement (50k rounds per workload)
-//! bench_engine --quick    # smoke scale for CI (2k rounds)
-//! bench_engine --out PATH # write the JSON somewhere else
+//! bench_engine                 # full measurement (50k rounds per workload)
+//! bench_engine --quick         # smoke scale for CI (2k rounds)
+//! bench_engine --out PATH      # write the JSON somewhere else
+//! bench_engine --baseline PATH # diff against a previous report
+//! bench_engine --check         # exit nonzero on >15% scratch regression
 //! ```
+//!
+//! When the output path already holds a previous report (or `--baseline`
+//! names one), a delta table prints for every workload; with `--check`,
+//! a >15% drop in the scratch/legacy speedup ratio fails the run — the
+//! CI bench-smoke step runs this against the committed `BENCH_engine.json`.
+//! The gate uses the speedup ratio (not absolute rounds/sec) because the
+//! engines are measured interleaved, so machine speed cancels and the
+//! committed baseline stays valid across hardware.
 //!
 //! The binary installs a counting global allocator, so the reported
 //! `allocs_per_round` is exact: the scratch engine must report 0.0 in
@@ -55,14 +65,105 @@ fn counters() -> (u64, u64) {
     )
 }
 
+/// Maximum tolerated drop in the scratch/legacy **speedup ratio** vs the
+/// baseline before `--check` fails the run.
+///
+/// The gate compares speedups, not absolute rounds/sec: the two engines
+/// are measured interleaved in the same process, so machine speed cancels
+/// out of the ratio and the check stays meaningful when the baseline was
+/// recorded on different hardware or at a different `--quick` scale (the
+/// CI case). Absolute rounds/sec deltas still print for same-machine
+/// reruns.
+const REGRESSION_TOLERANCE: f64 = 0.15;
+
+/// Per-workload `(scratch rounds/sec, scratch/legacy speedup)` of a
+/// report, in report order.
+fn scratch_stats(report: &radio_bench::enginebench::EngineBenchReport) -> Vec<(String, f64, f64)> {
+    report
+        .workloads
+        .iter()
+        .filter_map(|w| {
+            w.engines
+                .iter()
+                .find(|m| m.engine == "scratch")
+                .map(|m| (w.name.clone(), m.rounds_per_sec, w.speedup))
+        })
+        .collect()
+}
+
+/// Prints the baseline delta table; returns the workloads whose speedup
+/// ratio regressed beyond the tolerance.
+fn diff_against_baseline(
+    baseline: &radio_bench::enginebench::EngineBenchReport,
+    current: &radio_bench::enginebench::EngineBenchReport,
+) -> Vec<String> {
+    let old = scratch_stats(baseline);
+    let new = scratch_stats(current);
+    let mut regressed = Vec::new();
+    println!();
+    println!(
+        "{:<12} {:>16} {:>16} {:>9} {:>10} {:>10} {:>9}",
+        "workload", "baseline r/s", "current r/s", "delta", "base spdup", "cur spdup", "delta"
+    );
+    for (name, new_rate, new_speedup) in &new {
+        let Some((_, old_rate, old_speedup)) = old.iter().find(|(n, _, _)| n == name) else {
+            println!("{name:<12} {:>16} {new_rate:>16.0} — new workload", "—");
+            continue;
+        };
+        let rate_delta = new_rate / old_rate.max(1e-12) - 1.0;
+        let speedup_delta = new_speedup / old_speedup.max(1e-12) - 1.0;
+        println!(
+            "{name:<12} {old_rate:>16.0} {new_rate:>16.0} {:>+8.1}% {old_speedup:>9.2}x \
+             {new_speedup:>9.2}x {:>+8.1}%",
+            rate_delta * 100.0,
+            speedup_delta * 100.0
+        );
+        if speedup_delta < -REGRESSION_TOLERANCE {
+            regressed.push(name.clone());
+        }
+    }
+    regressed
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map_or("BENCH_engine.json", String::as_str);
+    // Default baseline: the previous report at the output path, so plain
+    // reruns always show their delta.
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .map_or(out_path, String::as_str)
+        .to_string();
+    let baseline: Option<radio_bench::enginebench::EngineBenchReport> =
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match serde_json::from_str(&text) {
+                Ok(report) => Some(report),
+                Err(e) => {
+                    // A baseline that exists but does not parse must never
+                    // silently disable an explicitly requested gate.
+                    eprintln!("baseline {baseline_path} is unreadable as a report: {e}");
+                    if check {
+                        std::process::exit(1);
+                    }
+                    None
+                }
+            },
+            Err(_) => {
+                if check {
+                    eprintln!("--check requires a baseline; none found at {baseline_path}");
+                    std::process::exit(1);
+                }
+                None
+            }
+        };
     let rounds = if quick { 2_000 } else { 50_000 };
 
     eprintln!("measuring {rounds} rounds per workload per engine...");
@@ -92,9 +193,32 @@ fn main() {
         }
     }
 
+    let regressed = baseline
+        .as_ref()
+        .map(|base| diff_against_baseline(base, &report))
+        .unwrap_or_default();
+
+    // A failed check must not clobber the baseline it failed against: the
+    // rejected report lands beside it so a rerun still compares against
+    // the original numbers.
+    let reject = check && !regressed.is_empty();
+    let write_path = if reject && out_path == baseline_path {
+        format!("{out_path}.rejected.json")
+    } else {
+        out_path.to_string()
+    };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(out_path, json).expect("write BENCH_engine.json");
-    eprintln!("wrote {out_path}");
+    std::fs::write(&write_path, json).expect("write BENCH_engine.json");
+    eprintln!("wrote {write_path}");
+
+    if reject {
+        eprintln!(
+            "FAIL: scratch/legacy speedup regressed more than {:.0}% vs {} on: {regressed:?}",
+            REGRESSION_TOLERANCE * 100.0,
+            baseline_path
+        );
+        std::process::exit(1);
+    }
 
     // Surface acceptance regressions directly in the exit code: the
     // scratch engine must stay allocation-free in steady state.

@@ -25,7 +25,7 @@ fn main() {
     }
     for id in &ids {
         if !ALL_EXPERIMENTS.contains(&id.as_str()) {
-            eprintln!("unknown experiment id: {id} (expected e1..e9)");
+            eprintln!("unknown experiment id: {id} (expected e1..e11)");
             std::process::exit(2);
         }
     }

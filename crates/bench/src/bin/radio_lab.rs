@@ -1,0 +1,161 @@
+//! `radio-lab` — run declarative scenarios from JSON spec files or the
+//! built-in experiment registry, and write machine-readable results.
+//!
+//! Usage:
+//!
+//! ```text
+//! radio-lab my_scenario.json            # run a user-authored ScenarioSpec
+//! radio-lab e1 e5 --quick               # registry experiments at smoke scale
+//! radio-lab --all --full                # the whole E1–E11 suite
+//! radio-lab spec.json --threads 4       # cap the trial-runner parallelism
+//! radio-lab spec.json --out results.json
+//! ```
+//!
+//! Positional arguments naming registry ids (`e1`..`e11`) expand to the
+//! built-in specs; anything else is read as a JSON [`ScenarioSpec`] file.
+//! Tables print to stdout; the results file records, per scenario, the
+//! spec, the rendered tables, the planned units, every `RunRecord`, and
+//! the sweep's wall-clock seconds.
+
+use radio_bench::scenario::{registry, render, run_spec, ScenarioRun, ScenarioSpec};
+use radio_bench::Table;
+use serde::Serialize;
+
+/// One executed scenario in the results file.
+#[derive(Serialize)]
+struct LabScenario {
+    spec: ScenarioSpec,
+    tables: Vec<Table>,
+    run: ScenarioRun,
+}
+
+/// The whole results document.
+#[derive(Serialize)]
+struct LabReport {
+    schema: String,
+    quick: bool,
+    wall_s_total: f64,
+    scenarios: Vec<LabScenario>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: radio-lab [SPEC.json | e1..e11 | --all] [--quick|--full] \
+         [--threads N] [--out PATH] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_tables = args.iter().any(|a| a == "--json");
+    let all = args.iter().any(|a| a == "--all");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("LAB_results.json", String::as_str)
+        .to_string();
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
+            usage();
+        };
+        // The vendored rayon reads this on every fan-out, so setting it
+        // up front caps the whole run.
+        std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+    }
+    let mut skip_next = false;
+    let mut inputs: Vec<String> = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--out" || a == "--threads" {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            if !matches!(a.as_str(), "--quick" | "--full" | "--json" | "--all") {
+                eprintln!("unknown flag {a}");
+                usage();
+            }
+            continue;
+        }
+        let _ = i;
+        inputs.push(a.clone());
+    }
+    if all {
+        inputs.extend(registry::ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
+    }
+    if inputs.is_empty() {
+        usage();
+    }
+
+    // Resolve every input to specs before running anything, so a typo
+    // fails fast instead of after a long sweep.
+    let mut specs: Vec<ScenarioSpec> = Vec::new();
+    for input in &inputs {
+        if let Some(built_in) = registry::specs(&input.to_lowercase(), quick) {
+            specs.extend(built_in);
+            continue;
+        }
+        let text = match std::fs::read_to_string(input) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{input}: not a registry id (e1..e11) and unreadable as a file: {e}");
+                std::process::exit(2);
+            }
+        };
+        match serde_json::from_str::<ScenarioSpec>(&text) {
+            Ok(spec) => specs.push(spec),
+            Err(e) => {
+                eprintln!("{input}: invalid ScenarioSpec JSON: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut report = LabReport {
+        schema: "radio-lab/v1".to_string(),
+        quick,
+        wall_s_total: 0.0,
+        scenarios: Vec::new(),
+    };
+    for spec in specs {
+        eprintln!(
+            "running {} ({} units{})...",
+            spec.id,
+            spec.grid_size(),
+            if quick { ", quick" } else { "" }
+        );
+        let run = run_spec(&spec);
+        let table = render(&spec, &run);
+        if json_tables {
+            println!(
+                "{}",
+                serde_json::to_string(&table).expect("table serializes")
+            );
+        } else {
+            println!("{}", table.render());
+        }
+        eprintln!("{}: {:.3}s", spec.id, run.wall_s);
+        report.wall_s_total += run.wall_s;
+        report.scenarios.push(LabScenario {
+            spec,
+            tables: vec![table],
+            run,
+        });
+    }
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "wrote {out_path} ({} scenarios, {:.3}s total)",
+        report.scenarios.len(),
+        report.wall_s_total
+    );
+}

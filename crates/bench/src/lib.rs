@@ -16,9 +16,11 @@
 pub mod enginebench;
 pub mod experiments;
 pub mod parallel;
+pub mod scenario;
 pub mod stats;
 pub mod table;
 
 pub use experiments::{run_experiment, ALL_EXPERIMENTS};
 pub use parallel::run_trials;
+pub use scenario::{render, run_spec, ScenarioRun, ScenarioSpec};
 pub use table::Table;

@@ -1,0 +1,506 @@
+//! The experiment registry: every paper experiment E1–E11 as
+//! [`ScenarioSpec`] data.
+//!
+//! Each entry reproduces its pre-refactor imperative sweep exactly — same
+//! grids, same seed schedule, same table formatting (the golden tests in
+//! `tests/golden_experiments.rs` pin this byte-for-byte at quick scale).
+//! Historical seed quirks are encoded as per-entry overrides: E3a/E8 pin
+//! the topology seed, E4 keys the network stream by `τ` and lets the
+//! detector continue it, E11 pins an independent detector stream.
+
+use super::{
+    render, run_spec, NestOrder, RenderKind, ScenarioSpec, SeedPolicy, StopCondition,
+    TopologyEntry, Workload, WorkloadEntry,
+};
+use crate::table::Table;
+use radio_sim::spec::{AdversaryKind, TopologyKind};
+use radio_sim::SpuriousSource;
+use radio_structures::runner::AlgoKind;
+
+/// All experiment ids in order.
+pub const ALL_EXPERIMENTS: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+];
+
+fn base_spec(id: &str, caption: &str, render: RenderKind) -> ScenarioSpec {
+    ScenarioSpec {
+        id: id.to_string(),
+        caption: caption.to_string(),
+        render,
+        topologies: Vec::new(),
+        adversaries: vec![AdversaryKind::Random { p: 0.5 }],
+        workloads: Vec::new(),
+        trials: 1,
+        nest: NestOrder::TopologyMajor,
+        seeds: SeedPolicy {
+            net_base: 0,
+            run_base: 0,
+        },
+        stop: StopCondition::Default,
+    }
+}
+
+/// A placeholder topology axis for workloads that build no network (game
+/// and schedule probes): the axis must be non-empty for the grid product.
+fn no_network() -> Vec<TopologyEntry> {
+    vec![TopologyEntry::new(TopologyKind::Clique { n: 1 })]
+}
+
+fn e1(quick: bool) -> Vec<ScenarioSpec> {
+    let ns: &[usize] = if quick {
+        &[32, 64]
+    } else {
+        // Extended past the historical n = 512 cap now that trials fan out
+        // in parallel.
+        &[32, 64, 128, 256, 512, 1024, 2048]
+    };
+    let mut spec = base_spec(
+        "E1",
+        "MIS (Sec. 4) under a random unreliable adversary: rounds to solve vs n; \
+         paper claims O(log^3 n) w.h.p. — the rounds/log^3(n) ratio should stay flat",
+        RenderKind::E1,
+    );
+    spec.topologies = ns
+        .iter()
+        .map(|&n| TopologyEntry::new(TopologyKind::GeometricDense { n }))
+        .collect();
+    spec.workloads = vec![WorkloadEntry::core(AlgoKind::Mis)];
+    spec.trials = if quick { 2 } else { 5 };
+    spec.seeds = SeedPolicy {
+        net_base: 1000,
+        run_base: 7,
+    };
+    vec![spec]
+}
+
+fn e2(quick: bool) -> Vec<ScenarioSpec> {
+    let ns: &[usize] = if quick { &[64] } else { &[64, 256] };
+    let mut spec = base_spec(
+        "E2",
+        "MIS density (Cor. 4.7): max MIS nodes within distance r of any node, \
+         against the overlay constant I_r",
+        RenderKind::E2,
+    );
+    spec.topologies = ns
+        .iter()
+        .map(|&n| TopologyEntry::new(TopologyKind::GeometricDense { n }))
+        .collect();
+    spec.workloads = vec![WorkloadEntry::core(AlgoKind::Mis)];
+    spec.seeds = SeedPolicy {
+        net_base: 2000,
+        run_base: 3,
+    };
+    vec![spec]
+}
+
+fn e3(quick: bool) -> Vec<ScenarioSpec> {
+    let n: usize = if quick { 48 } else { 96 };
+    // (a) Δ sweep at small b.
+    let degrees: &[f64] = if quick {
+        &[8.0, 14.0]
+    } else {
+        &[8.0, 14.0, 20.0, 26.0]
+    };
+    let mut a = base_spec(
+        "E3a",
+        "CCDS (Sec. 5) rounds vs Delta at small b = 64 bits: the Delta*log^2(n)/b \
+         term dominates, so rounds grow ~linearly in Delta",
+        RenderKind::E3a,
+    );
+    a.topologies = degrees
+        .iter()
+        .map(|&degree| TopologyEntry::seeded(TopologyKind::GeometricDegree { n, degree }, 31))
+        .collect();
+    a.workloads = vec![WorkloadEntry::core(AlgoKind::Ccds { b: 64 })];
+    a.seeds = SeedPolicy {
+        net_base: 31,
+        run_base: 5,
+    };
+    // (b) b sweep at fixed topology.
+    let bs: &[u64] = if quick {
+        &[64, 512]
+    } else {
+        &[48, 64, 128, 256, 512, 1024, 2048]
+    };
+    let mut b = base_spec(
+        "E3b",
+        "CCDS rounds vs message bound b at fixed Delta: rounds fall as 1/b until \
+         the MIS term log^3 n dominates (the paper's large-message regime b = Omega(Delta log n))",
+        RenderKind::E3b,
+    );
+    b.topologies = vec![TopologyEntry::new(TopologyKind::GeometricDense { n })];
+    b.workloads = bs
+        .iter()
+        .map(|&bits| WorkloadEntry::core(AlgoKind::Ccds { b: bits }))
+        .collect();
+    b.seeds = SeedPolicy {
+        net_base: 3000,
+        run_base: 11,
+    };
+    vec![a, b]
+}
+
+fn e4(quick: bool) -> Vec<ScenarioSpec> {
+    let n: usize = if quick { 24 } else { 48 };
+    let taus: &[usize] = if quick { &[1] } else { &[1, 2, 3] };
+    let degrees: &[f64] = if quick { &[8.0] } else { &[6.0, 10.0, 14.0] };
+    let mut spec = base_spec(
+        "E4",
+        "tau-complete CCDS (Sec. 6): rounds vs Delta and tau; linear in Delta \
+         (per-neighbor slots), tau+1 MIS iterations",
+        RenderKind::E4,
+    );
+    spec.topologies = degrees
+        .iter()
+        .map(|&degree| TopologyEntry::new(TopologyKind::GeometricDegree { n, degree }))
+        .collect();
+    // The τ axis keys the historical network stream (`41 + τ`); the
+    // τ-complete detector continues that stream, as the original loop did.
+    spec.workloads = taus
+        .iter()
+        .map(|&tau| {
+            let mut w = WorkloadEntry::core(AlgoKind::TauCcds {
+                tau,
+                spurious: SpuriousSource::UnreliableNeighbors,
+            });
+            w.net_seed = Some(41 + tau as u64);
+            w
+        })
+        .collect();
+    spec.nest = NestOrder::WorkloadMajor;
+    spec.seeds = SeedPolicy {
+        net_base: 41,
+        run_base: 13,
+    };
+    vec![spec]
+}
+
+fn e5(quick: bool) -> Vec<ScenarioSpec> {
+    // (a) single hitting game.
+    let betas: &[u32] = if quick {
+        &[16, 64]
+    } else {
+        &[16, 32, 64, 128, 256]
+    };
+    let trials = if quick { 100 } else { 400 };
+    let mut a = base_spec(
+        "E5a",
+        "beta-single hitting game: mean rounds to hit vs beta; any strategy needs \
+         >= (beta+1)/2 in expectation — the bottom of the Thm 7.1 reduction",
+        RenderKind::E5a,
+    );
+    a.topologies = no_network();
+    a.adversaries = vec![AdversaryKind::CliqueIsolator];
+    a.workloads = betas
+        .iter()
+        .flat_map(|&beta| {
+            [(false, 1u64), (true, 2u64)].map(|(replacement, seed)| {
+                let mut w = WorkloadEntry::new(Workload::Hitting {
+                    beta,
+                    trials,
+                    replacement,
+                });
+                w.run_seed = Some(seed);
+                w
+            })
+        })
+        .collect();
+    // (b) two-clique network, 1-complete detectors, isolating adversary.
+    let betas_b: &[usize] = if quick { &[4, 6] } else { &[4, 6, 8, 12, 16] };
+    let mut b = base_spec(
+        "E5b",
+        "two-clique network (Lemma 7.2) with 1-complete detectors under the \
+         clique-isolating adversary: rounds grow linearly in Delta = beta \
+         (upper-bounded by the Sec. 6 schedule, lower-bounded by Thm 7.1)",
+        RenderKind::E5b,
+    );
+    b.topologies = no_network();
+    b.adversaries = vec![AdversaryKind::CliqueIsolator];
+    b.workloads = vec![{
+        let mut w = WorkloadEntry::new(Workload::TwoCliqueSweep {
+            betas: betas_b.to_vec(),
+            trials: if quick { 1 } else { 3 },
+        });
+        w.run_seed = Some(99);
+        w
+    }];
+    // (c) separation: 0-complete CCDS at large b is polylog (flat in Δ);
+    // 1-complete is linear in Δ.
+    let mut c = base_spec(
+        "E5c",
+        "the separation: schedule rounds for 0-complete CCDS (large b) stay \
+         ~flat in Delta while the 1-complete structure grows linearly",
+        RenderKind::E5c,
+    );
+    c.topologies = no_network();
+    c.adversaries = vec![AdversaryKind::CliqueIsolator];
+    c.workloads = betas_b
+        .iter()
+        .map(|&beta| WorkloadEntry::new(Workload::SchedulePair { beta }))
+        .collect();
+    vec![a, b, c]
+}
+
+fn e6(quick: bool) -> Vec<ScenarioSpec> {
+    let mut spec = base_spec(
+        "E6",
+        "continuous CCDS (Sec. 8) with a dynamic detector stabilizing at round r: \
+         the structure is a valid CCDS when checked at r + 2*delta_CDS (Thm 8.1)",
+        RenderKind::E6,
+    );
+    spec.topologies = vec![TopologyEntry::new(TopologyKind::Path { n: 8 })];
+    spec.adversaries = vec![AdversaryKind::ReliableOnly];
+    spec.workloads = vec![WorkloadEntry::core(AlgoKind::ContinuousDynamic { b: 256 })];
+    spec.trials = if quick { 1 } else { 3 };
+    spec.seeds = SeedPolicy {
+        net_base: 0,
+        run_base: 1,
+    };
+    vec![spec]
+}
+
+fn e7(quick: bool) -> Vec<ScenarioSpec> {
+    let ns: &[usize] = if quick {
+        &[16, 32]
+    } else {
+        // Extended past the historical n = 128 cap (ROADMAP: scale sweeps
+        // beyond n = 512).
+        &[32, 64, 128, 256, 512, 1024]
+    };
+    let mut spec = base_spec(
+        "E7",
+        "async-start MIS (Sec. 9): max rounds from wake-up to output vs n; \
+         paper claims O(log^3 n) per process — ratio should stay ~flat",
+        RenderKind::E7,
+    );
+    spec.topologies = ns
+        .iter()
+        .flat_map(|&n| {
+            [
+                TopologyEntry::seeded(TopologyKind::GeometricClassic { n }, 71),
+                TopologyEntry::seeded(TopologyKind::GeometricDense { n }, 72),
+            ]
+        })
+        .collect();
+    spec.adversaries = vec![AdversaryKind::AllUnreliable];
+    spec.workloads = vec![WorkloadEntry::core(AlgoKind::AsyncMis)];
+    spec.seeds = SeedPolicy {
+        net_base: 71,
+        run_base: 73,
+    };
+    vec![spec]
+}
+
+fn e8(quick: bool) -> Vec<ScenarioSpec> {
+    let spacings: &[f64] = if quick {
+        &[0.9, 0.45]
+    } else {
+        &[0.9, 0.6, 0.45, 0.32]
+    };
+    let side = if quick { 5 } else { 7 };
+    let mut spec = base_spec(
+        "E8",
+        "banned list ablation: explorations per MIS node (Sec. 5, measured max) vs \
+         the naive explore-every-neighbor turns (Sec. 5's 'simple approach' = Sec. 6 at tau=0)",
+        RenderKind::E8,
+    );
+    spec.topologies = spacings
+        .iter()
+        .map(|&spacing| {
+            TopologyEntry::seeded(
+                TopologyKind::Grid {
+                    cols: side,
+                    rows: side,
+                    spacing,
+                },
+                81,
+            )
+        })
+        .collect();
+    spec.workloads = vec![WorkloadEntry::core(AlgoKind::Ccds { b: 1024 })];
+    spec.seeds = SeedPolicy {
+        net_base: 81,
+        run_base: 7,
+    };
+    vec![spec]
+}
+
+fn e9(quick: bool) -> Vec<ScenarioSpec> {
+    let n = if quick { 32 } else { 64 };
+    let mut a = base_spec(
+        "E9a",
+        "MIS solve rounds under increasingly hostile reach-set adversaries: \
+         correctness holds under all (the Sec. 4 design goal); cost degrades gracefully",
+        RenderKind::E9a,
+    );
+    a.topologies = vec![TopologyEntry::seeded(
+        TopologyKind::GeometricDense { n },
+        91,
+    )];
+    a.adversaries = vec![
+        AdversaryKind::ReliableOnly,
+        AdversaryKind::Random { p: 0.5 },
+        AdversaryKind::Bursty {
+            p_gb: 0.05,
+            p_bg: 0.05,
+        },
+        AdversaryKind::AllUnreliable,
+        AdversaryKind::Collider,
+    ];
+    a.workloads = vec![WorkloadEntry::core(AlgoKind::Mis)];
+    a.seeds = SeedPolicy {
+        net_base: 91,
+        run_base: 17,
+    };
+    // Broadcast: Decay (fast, fragile) vs round robin (slow, immune) on a
+    // line with unreliable chords.
+    let len = if quick { 12 } else { 20 };
+    let mut b = base_spec(
+        "E9b",
+        "detector-less broadcast on a line with unreliable chords: Decay is fast \
+         when links behave but degrades under the collider; round robin is \
+         adversary-immune at Theta(n)-per-hop cost (why [5] calls it optimal)",
+        RenderKind::E9b,
+    );
+    b.topologies = vec![TopologyEntry::new(TopologyKind::PathChords { n: len })];
+    b.adversaries = vec![AdversaryKind::ReliableOnly];
+    b.workloads = [(true, false), (true, true), (false, true)]
+        .into_iter()
+        .map(|(decay, collider)| WorkloadEntry::new(Workload::Broadcast { decay, collider }))
+        .collect();
+    b.seeds = SeedPolicy {
+        net_base: 0,
+        run_base: 19,
+    };
+    b.stop = StopCondition::Rounds { max: 40_000 };
+    vec![a, b]
+}
+
+fn e10(quick: bool) -> Vec<ScenarioSpec> {
+    let ns: &[usize] = if quick { &[48] } else { &[48, 96] };
+    let mut spec = base_spec(
+        "E10",
+        "CCDS as routing backbone (the paper's motivating application): flood a \
+         message with only backbone nodes forwarding vs everyone flooding; the \
+         backbone trades constant-factor latency for a transmission rate \
+         proportional to backbone size instead of n",
+        RenderKind::E10,
+    );
+    spec.topologies = ns
+        .iter()
+        .map(|&n| TopologyEntry::seeded(TopologyKind::GeometricDense { n }, 4000))
+        .collect();
+    // One workload per n: the CCDS builds once and both flood modes reuse
+    // it (the pre-refactor loop's sharing, kept).
+    spec.workloads = vec![WorkloadEntry::new(Workload::BackboneCompare {
+        b: 512,
+        flood_seed: 11,
+        flood_budget: 200_000,
+    })];
+    spec.seeds = SeedPolicy {
+        net_base: 4000,
+        run_base: 5,
+    };
+    vec![spec]
+}
+
+fn e11(quick: bool) -> Vec<ScenarioSpec> {
+    let n: usize = if quick { 24 } else { 40 };
+    let taus: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 6, 8] };
+    let mut spec = base_spec(
+        "E11",
+        "beyond the paper (Sec. 10 future work): tau-CCDS at non-constant tau; \
+         cost grows linearly in tau and the winner set densifies (tau+1 per \
+         disk) — the quantity the paper's impossibility conjecture is about",
+        RenderKind::E11,
+    );
+    spec.topologies = vec![TopologyEntry::seeded(
+        TopologyKind::GeometricDense { n },
+        5000,
+    )];
+    // The detector stream is independent of the network stream here
+    // (historically `1100 + τ` vs the fixed network seed 5000).
+    spec.workloads = taus
+        .iter()
+        .map(|&tau| {
+            let mut w = WorkloadEntry::core(AlgoKind::TauCcds {
+                tau,
+                spurious: SpuriousSource::AnyNonNeighbor,
+            });
+            w.det_seed = Some(1100 + tau as u64);
+            w
+        })
+        .collect();
+    spec.nest = NestOrder::WorkloadMajor;
+    spec.seeds = SeedPolicy {
+        net_base: 5000,
+        run_base: 17,
+    };
+    vec![spec]
+}
+
+/// The specs of an experiment id (`"e1"`..`"e11"`), one per table.
+pub fn specs(id: &str, quick: bool) -> Option<Vec<ScenarioSpec>> {
+    match id {
+        "e1" => Some(e1(quick)),
+        "e2" => Some(e2(quick)),
+        "e3" => Some(e3(quick)),
+        "e4" => Some(e4(quick)),
+        "e5" => Some(e5(quick)),
+        "e6" => Some(e6(quick)),
+        "e7" => Some(e7(quick)),
+        "e8" => Some(e8(quick)),
+        "e9" => Some(e9(quick)),
+        "e10" => Some(e10(quick)),
+        "e11" => Some(e11(quick)),
+        _ => None,
+    }
+}
+
+/// Runs an experiment by id through the scenario subsystem, returning its
+/// tables.
+///
+/// # Panics
+///
+/// Panics on an unknown id (caller validates CLI input).
+pub fn experiment_tables(id: &str, quick: bool) -> Vec<Table> {
+    let specs = specs(id, quick).unwrap_or_else(|| panic!("unknown experiment id {id}"));
+    specs
+        .iter()
+        .map(|spec| {
+            let run = run_spec(spec);
+            render(spec, &run)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registry_spec_plans_to_its_grid_product() {
+        for id in ALL_EXPERIMENTS {
+            for spec in specs(id, true).expect("registered") {
+                assert_eq!(spec.plan().len(), spec.grid_size(), "{id}/{}", spec.id);
+                assert!(spec.grid_size() > 0, "{id}/{}", spec.id);
+            }
+        }
+    }
+
+    #[test]
+    fn registry_specs_roundtrip_serde() {
+        for id in ALL_EXPERIMENTS {
+            for spec in specs(id, true).expect("registered") {
+                let json = serde_json::to_string_pretty(&spec).expect("serializes");
+                let back: ScenarioSpec = serde_json::from_str(&json).expect("parses");
+                assert_eq!(back, spec, "{id}/{}", spec.id);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(specs("e12", true).is_none());
+    }
+}

@@ -394,7 +394,7 @@ mod tests {
         use rand::SeedableRng;
         let params = MisParams::default();
         let mut core = MisCore::new(4, ProcessId::new(1).unwrap(), params);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = radio_sim::ProcessRng::seed_from_u64(5);
         let detector: std::collections::BTreeSet<u32> = [2u32].into();
         let mut ctx = Context {
             local_round: 1,
@@ -425,7 +425,7 @@ mod tests {
         use rand::SeedableRng;
         let params = MisParams::default();
         let mut core = MisCore::new(4, ProcessId::new(1).unwrap(), params);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = radio_sim::ProcessRng::seed_from_u64(5);
         let detector: std::collections::BTreeSet<u32> = [2u32].into();
         let ctx = Context {
             local_round: 1,

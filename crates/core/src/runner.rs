@@ -6,74 +6,22 @@
 //! fixed schedule, check the Section 3 conditions. These helpers package
 //! that pattern with explicit, serializable results.
 
+use crate::async_mis::{AsyncFilter, AsyncMis, AsyncMisParams};
+use crate::backbone::run_backbone_flood;
 use crate::ccds::{Ccds, CcdsConfig, ScheduleError};
 use crate::checker::{check_ccds, check_mis, CcdsReport, MisReport};
+use crate::continuous::ContinuousCcds;
 use crate::mis::Mis;
 use crate::params::MisParams;
 use crate::tau::{TauCcds, TauConfig};
-use radio_sim::adversary::{
-    AllUnreliable, BurstyUnreliable, CliqueIsolator, Collider, RandomUnreliable, ReliableOnly,
-};
 use radio_sim::{
-    Adversary, DualGraph, EngineBuilder, ExecutionMetrics, IdAssignment, LinkDetectorAssignment,
+    DualGraph, DynamicDetector, EngineBuilder, ExecutionMetrics, IdAssignment,
+    LinkDetectorAssignment, NodeId, ProcessId, SpuriousSource, StopReason,
 };
+use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
-/// A selectable reach-set adversary (value-level mirror of the `radio-sim`
-/// adversary types, so experiment configs can be plain data).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum AdversaryKind {
-    /// Unreliable edges never deliver.
-    ReliableOnly,
-    /// Unreliable edges always deliver.
-    AllUnreliable,
-    /// Each unreliable edge delivers independently with probability `p`.
-    Random {
-        /// Per-edge, per-round activation probability.
-        p: f64,
-    },
-    /// Adaptive: manufactures collisions wherever a clean reception was
-    /// about to happen.
-    Collider,
-    /// Gilbert–Elliott bursty links: per-edge Good/Bad Markov chains.
-    Bursty {
-        /// Good→Bad transition probability per round.
-        p_gb: f64,
-        /// Bad→Good transition probability per round.
-        p_bg: f64,
-    },
-    /// The Lemma 7.2 clique-isolating adversary.
-    CliqueIsolator,
-}
-
-impl AdversaryKind {
-    /// Instantiates the adversary (randomized kinds derive their stream
-    /// from `seed`).
-    pub fn build(self, seed: u64) -> Box<dyn Adversary> {
-        match self {
-            AdversaryKind::ReliableOnly => Box::new(ReliableOnly),
-            AdversaryKind::AllUnreliable => Box::new(AllUnreliable),
-            AdversaryKind::Random { p } => Box::new(RandomUnreliable::new(p, seed)),
-            AdversaryKind::Collider => Box::new(Collider),
-            AdversaryKind::Bursty { p_gb, p_bg } => {
-                Box::new(BurstyUnreliable::new(p_gb, p_bg, seed))
-            }
-            AdversaryKind::CliqueIsolator => Box::new(CliqueIsolator),
-        }
-    }
-
-    /// Short name for experiment tables.
-    pub fn name(self) -> &'static str {
-        match self {
-            AdversaryKind::ReliableOnly => "reliable-only",
-            AdversaryKind::AllUnreliable => "all-unreliable",
-            AdversaryKind::Random { .. } => "random-unreliable",
-            AdversaryKind::Collider => "collider",
-            AdversaryKind::Bursty { .. } => "bursty-unreliable",
-            AdversaryKind::CliqueIsolator => "clique-isolator",
-        }
-    }
-}
+pub use radio_sim::spec::AdversaryKind;
 
 /// Result of one MIS execution.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -93,6 +41,18 @@ pub struct MisRun {
 /// Runs the Section 4 MIS on `net` with a 0-complete detector and identity
 /// id assignment, then verifies it.
 pub fn run_mis(net: &DualGraph, params: MisParams, adversary: AdversaryKind, seed: u64) -> MisRun {
+    run_mis_budget(net, params, adversary, seed, params.total_rounds(net.n()))
+}
+
+/// [`run_mis`] with an explicit round budget (the scenario planner's stop
+/// condition hook).
+pub fn run_mis_budget(
+    net: &DualGraph,
+    params: MisParams,
+    adversary: AdversaryKind,
+    seed: u64,
+    budget: u64,
+) -> MisRun {
     let n = net.n();
     let ids = IdAssignment::identity(n);
     let det = LinkDetectorAssignment::zero_complete(net, &ids);
@@ -104,7 +64,7 @@ pub fn run_mis(net: &DualGraph, params: MisParams, adversary: AdversaryKind, see
         .adversary(adversary.build(seed ^ 0x5eed))
         .spawn(|info| Mis::new(info.n, info.id, params))
         .expect("engine assembly from a validated network cannot fail");
-    engine.run(params.total_rounds(n));
+    engine.run(budget);
     let outputs = engine.outputs();
     MisRun {
         report: check_mis(net, &h, &outputs),
@@ -149,7 +109,24 @@ pub fn run_ccds(
     adversary: AdversaryKind,
     seed: u64,
 ) -> Result<CcdsRun, ScheduleError> {
+    run_ccds_budget(net, cfg, adversary, seed, None)
+}
+
+/// [`run_ccds`] with an optional cap on the schedule's round budget (the
+/// scenario planner's stop condition hook).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if `cfg.b` is too small for `cfg.n`.
+pub fn run_ccds_budget(
+    net: &DualGraph,
+    cfg: &CcdsConfig,
+    adversary: AdversaryKind,
+    seed: u64,
+    max_rounds: Option<u64>,
+) -> Result<CcdsRun, ScheduleError> {
     let schedule = cfg.schedule()?;
+    let budget = max_rounds.map_or(schedule.total + 1, |m| (schedule.total + 1).min(m));
     let ids = IdAssignment::identity(net.n());
     let det = LinkDetectorAssignment::zero_complete(net, &ids);
     let h = det.h_graph(&ids);
@@ -161,7 +138,7 @@ pub fn run_ccds(
         .max_message_bits(cfg.b)
         .spawn(|info| Ccds::new(cfg, info.id).expect("config validated above"))
         .expect("engine assembly from a validated network cannot fail");
-    engine.run(schedule.total + 1);
+    engine.run(budget);
     let outputs = engine.outputs();
     let max_explorations = engine
         .procs()
@@ -212,7 +189,21 @@ pub fn run_tau_ccds(
     adversary: AdversaryKind,
     seed: u64,
 ) -> TauRun {
+    run_tau_ccds_budget(net, det, cfg, adversary, seed, None)
+}
+
+/// [`run_tau_ccds`] with an optional cap on the schedule's round budget
+/// (the scenario planner's stop condition hook).
+pub fn run_tau_ccds_budget(
+    net: &DualGraph,
+    det: &LinkDetectorAssignment,
+    cfg: &TauConfig,
+    adversary: AdversaryKind,
+    seed: u64,
+    max_rounds: Option<u64>,
+) -> TauRun {
     let schedule = cfg.schedule();
+    let budget = max_rounds.map_or(schedule.total + 1, |m| (schedule.total + 1).min(m));
     let ids = IdAssignment::identity(net.n());
     let h = det.h_graph(&ids);
     let mut engine = EngineBuilder::new(net.clone())
@@ -222,7 +213,7 @@ pub fn run_tau_ccds(
         .adversary(adversary.build(seed ^ 0x5eed))
         .spawn(|info| TauCcds::new(cfg, info.id))
         .expect("engine assembly from a validated network cannot fail");
-    engine.run(schedule.total + 1);
+    engine.run(budget);
     let outputs = engine.outputs();
     let winners = engine.procs().iter().filter(|p| p.is_winner()).count();
     TauRun {
@@ -234,6 +225,426 @@ pub fn run_tau_ccds(
         winners,
         outputs,
     }
+}
+
+/// A selectable algorithm (value-level mirror of the runners in this
+/// module, so experiment configs can be plain data).
+///
+/// Every variant runs through [`run_algo`], the single entry point behind
+/// the experiment harness's scenario planner: one network in, one
+/// [`RunRecord`] out, whatever the algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AlgoKind {
+    /// The Section 4 MIS with default parameters and a 0-complete detector.
+    Mis,
+    /// The Section 5 CCDS at message bound `b` with a 0-complete detector.
+    Ccds {
+        /// Maximum message size in bits.
+        b: u64,
+    },
+    /// The Section 6 τ-complete CCDS. The detector assignment is built
+    /// from `run_algo`'s detector stream (see [`run_algo`]'s `det_rng`).
+    TauCcds {
+        /// Detector completeness parameter τ.
+        tau: usize,
+        /// Where spurious detector entries are drawn from.
+        spurious: SpuriousSource,
+    },
+    /// The Section 9 asynchronous-start MIS with the staggered wake
+    /// pattern of experiment E7. The message filter is chosen from the
+    /// network: classic (`G = G'`) networks run filterless (no topology
+    /// knowledge), dual graphs use the 0-complete detector filter.
+    AsyncMis,
+    /// The Section 8 continuous CCDS under a dynamic detector that starts
+    /// sparse and stabilizes to 0-complete mid-execution (experiment E6);
+    /// validity is checked `2·δ_CDS` after stabilization per Theorem 8.1.
+    ContinuousDynamic {
+        /// Maximum message size in bits for the underlying CCDS.
+        b: u64,
+    },
+    /// The backbone-routing application (experiment E10): build a CCDS,
+    /// then flood from node 0 with only backbone nodes forwarding
+    /// (`everyone = false`) or the whole network forwarding (`true`).
+    Backbone {
+        /// Maximum message size in bits for the CCDS build.
+        b: u64,
+        /// Whether every node forwards (plain flooding baseline).
+        everyone: bool,
+        /// Seed of the flood phase (independent of the CCDS build seed).
+        flood_seed: u64,
+        /// Round budget of the flood phase.
+        flood_budget: u64,
+    },
+}
+
+impl AlgoKind {
+    /// Short name for tables and records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgoKind::Mis => "mis",
+            AlgoKind::Ccds { .. } => "ccds",
+            AlgoKind::TauCcds { .. } => "tau-ccds",
+            AlgoKind::AsyncMis => "async-mis",
+            AlgoKind::ContinuousDynamic { .. } => "continuous-dynamic",
+            AlgoKind::Backbone { .. } => "backbone",
+        }
+    }
+}
+
+/// The common result of one algorithm execution, whatever the algorithm —
+/// the serializable record the scenario planner aggregates.
+///
+/// Fields that only some algorithms produce are `Option`s; scalar
+/// statistics with no common shape (game means, latency maxima, structure
+/// sizes, …) live in `extras` as named values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Algorithm name (see [`AlgoKind::name`]).
+    pub algo: String,
+    /// Network size.
+    pub n: usize,
+    /// Maximum reliable degree `Δ` of the network.
+    pub max_degree: usize,
+    /// Whether the run's verification passed (per-algorithm criteria: the
+    /// checker conditions for structures, coverage for floods, …).
+    pub valid: bool,
+    /// Round by which the run's goal was reached (`None` if never): last
+    /// decision for structures, coverage for floods.
+    pub solve_round: Option<u64>,
+    /// Rounds the engine executed.
+    pub rounds_executed: u64,
+    /// Total schedule length, for fixed-schedule algorithms.
+    pub schedule_total: Option<u64>,
+    /// Channel counters, when an engine ran.
+    pub metrics: Option<ExecutionMetrics>,
+    /// Final outputs by node (empty when the run failed to start).
+    pub outputs: Vec<Option<bool>>,
+    /// Maximum explorations by any MIS node (CCDS banned-list statistic).
+    pub max_explorations: Option<u64>,
+    /// MIS nodes in the final structure (CCDS runs).
+    pub mis_size: Option<usize>,
+    /// Winners (dominators) in the final structure (τ-CCDS runs).
+    pub winners: Option<usize>,
+    /// Why the run could not execute (e.g. `b` below the schedule
+    /// minimum); all other fields are defaults when set.
+    pub error: Option<String>,
+    /// Named scalar statistics with no common shape.
+    pub extras: Vec<(String, f64)>,
+}
+
+impl RunRecord {
+    /// An empty record for `algo` on a network of `n` nodes and maximum
+    /// degree `delta`.
+    fn new(algo: &AlgoKind, n: usize, delta: usize) -> Self {
+        RunRecord::blank(algo.name(), n, delta)
+    }
+
+    /// An empty record for a workload outside this crate's [`AlgoKind`]
+    /// dispatch (game sweeps, broadcast baselines, schedule probes).
+    pub fn blank(algo: &str, n: usize, max_degree: usize) -> Self {
+        RunRecord {
+            algo: algo.to_string(),
+            n,
+            max_degree,
+            valid: false,
+            solve_round: None,
+            rounds_executed: 0,
+            schedule_total: None,
+            metrics: None,
+            outputs: Vec::new(),
+            max_explorations: None,
+            mis_size: None,
+            winners: None,
+            error: None,
+            extras: Vec::new(),
+        }
+    }
+
+    /// A record for a run that could not execute at all (e.g. the topology
+    /// failed to build).
+    pub fn failed(algo: &str, error: String) -> Self {
+        let mut rec = RunRecord::blank(algo, 0, 0);
+        rec.error = Some(error);
+        rec
+    }
+
+    /// Looks up a named extra statistic.
+    pub fn extra(&self, key: &str) -> Option<f64> {
+        self.extras.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// Appends a named extra statistic. Non-finite values are dropped
+    /// (JSON cannot represent them); readers treat a missing key as NaN.
+    pub fn push_extra(&mut self, key: &str, value: f64) {
+        if value.is_finite() {
+            self.extras.push((key.to_string(), value));
+        }
+    }
+}
+
+/// Runs any [`AlgoKind`] on `net` and verifies the result — the single
+/// entry point the scenario planner drives.
+///
+/// `seed` seeds the engine (and, XOR-masked, the adversary), exactly as the
+/// per-algorithm runners do. `det_rng` is the detector randomness stream
+/// for τ-complete detector construction: passing the generator that built
+/// the topology reproduces the experiments whose detector draws continue
+/// the topology stream (E4), passing a fresh one keeps them independent
+/// (E11). `max_rounds`, when set, caps the algorithm's intrinsic round
+/// budget.
+pub fn run_algo(
+    net: &DualGraph,
+    algo: &AlgoKind,
+    adversary: AdversaryKind,
+    seed: u64,
+    det_rng: &mut StdRng,
+    max_rounds: Option<u64>,
+) -> RunRecord {
+    let cap = |budget: u64| max_rounds.map_or(budget, |m| budget.min(m));
+    let n = net.n();
+    let delta = net.max_degree_g();
+    let mut rec = RunRecord::new(algo, n, delta);
+    match *algo {
+        AlgoKind::Mis => {
+            let params = MisParams::default();
+            let run = run_mis_budget(net, params, adversary, seed, cap(params.total_rounds(n)));
+            rec.valid = run.report.is_valid();
+            rec.solve_round = run.solve_round;
+            rec.rounds_executed = run.rounds_executed;
+            rec.metrics = Some(run.metrics);
+            rec.outputs = run.outputs;
+        }
+        AlgoKind::Ccds { b } => {
+            let cfg = CcdsConfig::new(n, delta, b);
+            match run_ccds_budget(net, &cfg, adversary, seed, max_rounds) {
+                Ok(run) => {
+                    rec.valid =
+                        run.report.terminated && run.report.connected && run.report.dominating;
+                    rec.solve_round = run.solve_round;
+                    rec.rounds_executed = run.rounds_executed;
+                    rec.schedule_total = Some(run.schedule_total);
+                    rec.metrics = Some(run.metrics);
+                    rec.max_explorations = Some(run.max_explorations);
+                    rec.mis_size = Some(run.mis_size);
+                    rec.push_extra(
+                        "max_gprime_neighbors",
+                        run.report.max_gprime_neighbors_in_set as f64,
+                    );
+                    rec.outputs = run.outputs;
+                }
+                Err(e) => rec.error = Some(e.to_string()),
+            }
+        }
+        AlgoKind::TauCcds { tau, spurious } => {
+            let ids = IdAssignment::identity(n);
+            let det = LinkDetectorAssignment::tau_complete(net, &ids, tau, spurious, det_rng);
+            let cfg = TauConfig::new(n, delta + tau, tau);
+            let run = run_tau_ccds_budget(net, &det, &cfg, adversary, seed, max_rounds);
+            rec.valid = run.report.terminated && run.report.connected && run.report.dominating;
+            rec.solve_round = run.solve_round;
+            rec.rounds_executed = run.rounds_executed;
+            rec.schedule_total = Some(run.schedule_total);
+            rec.metrics = Some(run.metrics);
+            rec.winners = Some(run.winners);
+            rec.push_extra(
+                "max_gprime_neighbors",
+                run.report.max_gprime_neighbors_in_set as f64,
+            );
+            rec.outputs = run.outputs;
+        }
+        AlgoKind::AsyncMis => run_async_mis(net, adversary, seed, max_rounds, &mut rec),
+        AlgoKind::ContinuousDynamic { b } => {
+            run_continuous_dynamic(net, adversary, seed, b, max_rounds, &mut rec);
+        }
+        AlgoKind::Backbone {
+            b,
+            everyone,
+            flood_seed,
+            flood_budget,
+        } => {
+            let mut recs = run_backbone_modes(
+                net,
+                adversary,
+                seed,
+                b,
+                &[everyone],
+                flood_seed,
+                cap(flood_budget),
+                max_rounds,
+            );
+            rec = recs.pop().expect("one mode requested");
+        }
+    }
+    rec
+}
+
+/// The Section 9 asynchronous-start MIS under the E7 staggered wake
+/// pattern; fills `rec` with the per-process latency maximum and the MIS
+/// verification over `G`.
+fn run_async_mis(
+    net: &DualGraph,
+    adversary: AdversaryKind,
+    seed: u64,
+    max_rounds: Option<u64>,
+    rec: &mut RunRecord,
+) {
+    let n = net.n();
+    let filter = if net.is_classic() {
+        AsyncFilter::AcceptAll
+    } else {
+        AsyncFilter::Detector
+    };
+    let params = AsyncMisParams::default();
+    let epoch = params.epoch_len(n);
+    let wakes: Vec<u64> = (0..n).map(|i| 1 + (i as u64 % 8) * (epoch / 2)).collect();
+    let budget = 8 * epoch / 2 + 60 * epoch;
+    let budget = max_rounds.map_or(budget, |m| budget.min(m));
+    let mut engine = EngineBuilder::new(net.clone())
+        .seed(seed)
+        .wake_rounds(wakes)
+        .adversary(adversary.build(seed ^ 0x5eed))
+        .spawn(|info| AsyncMis::new(info.n, info.id, params, filter))
+        .expect("engine assembly from a validated network cannot fail");
+    let out = engine.run(budget);
+    let outputs = engine.outputs();
+    let max_latency = (0..n)
+        .filter_map(|v| engine.decided_latency(NodeId(v)))
+        .max()
+        .unwrap_or(0);
+    let g = engine.net().g();
+    let mut valid = out.stop == StopReason::AllDone;
+    for (u, v) in g.edges() {
+        if outputs[u] == Some(true) && outputs[v] == Some(true) {
+            valid = false;
+        }
+    }
+    for v in 0..n {
+        if outputs[v] == Some(false) && !g.neighbors(v).iter().any(|&u| outputs[u] == Some(true)) {
+            valid = false;
+        }
+    }
+    rec.valid = valid;
+    rec.solve_round = engine.all_decided_round();
+    rec.rounds_executed = engine.round();
+    rec.metrics = Some(*engine.metrics());
+    rec.push_extra("max_latency", max_latency as f64);
+    rec.push_extra("classic", f64::from(u8::from(net.is_classic())));
+    rec.outputs = outputs;
+}
+
+/// The Section 8 continuous CCDS with a detector that starts sparse and
+/// stabilizes to 0-complete at `δ_CDS / 2`; validity is checked at
+/// stabilization + `2·δ_CDS` per Theorem 8.1.
+fn run_continuous_dynamic(
+    net: &DualGraph,
+    adversary: AdversaryKind,
+    seed: u64,
+    b: u64,
+    max_rounds: Option<u64>,
+    rec: &mut RunRecord,
+) {
+    let n = net.n();
+    let ids = IdAssignment::identity(n);
+    let good = LinkDetectorAssignment::zero_complete(net, &ids);
+    // The pre-stabilization detector: drop one entry from every set past
+    // the first two, leaving it incomplete but well-formed.
+    let sparse = {
+        let mut sets: Vec<std::collections::BTreeSet<u32>> =
+            (0..n).map(|v| good.set(NodeId(v)).clone()).collect();
+        for set in sets.iter_mut().skip(2) {
+            if let Some(&first) = set.iter().next() {
+                set.remove(&first);
+            }
+        }
+        LinkDetectorAssignment::from_sets(sets)
+    };
+    let cfg = CcdsConfig::new(n, net.max_degree_g(), b);
+    let probe = match ContinuousCcds::new(&cfg, ProcessId::new(1).expect("valid id")) {
+        Ok(p) => p,
+        Err(e) => {
+            rec.error = Some(e.to_string());
+            return;
+        }
+    };
+    let delta = probe.cycle_len();
+    let stabilize_at = (delta / 2).max(2);
+    let dyn_det = DynamicDetector::new(vec![(1, sparse), (stabilize_at, good.clone())])
+        .expect("stabilization schedule is strictly increasing");
+    let h = good.h_graph(&ids);
+    let mut engine = EngineBuilder::new(net.clone())
+        .seed(seed)
+        .detector(dyn_det)
+        .adversary(adversary.build(seed ^ 0x5eed))
+        .spawn(|info| ContinuousCcds::new(&cfg, info.id).expect("config validated above"))
+        .expect("engine assembly from a validated network cannot fail");
+    let deadline = stabilize_at + 2 * delta;
+    let total = max_rounds.map_or(deadline + 1, |m| (deadline + 1).min(m));
+    engine.run_rounds(total);
+    let outputs = engine.outputs();
+    let report = check_ccds(engine.net(), &h, &outputs);
+    rec.valid = report.terminated && report.connected && report.dominating;
+    rec.rounds_executed = engine.round();
+    rec.metrics = Some(*engine.metrics());
+    rec.push_extra("stabilize_round", stabilize_at as f64);
+    rec.push_extra("delta_cds", delta as f64);
+    rec.push_extra("checked_at", total as f64);
+    rec.outputs = outputs;
+}
+
+/// The E10 backbone application: build a CCDS **once** (seeded by
+/// `seed`), then run one flood per entry of `modes` (`false` = only
+/// backbone nodes forward, `true` = everyone floods), returning one record
+/// per mode in order.
+///
+/// Sharing the CCDS build across modes is what makes the backbone /
+/// flood-all comparison cheap: the structure construction dominates the
+/// flood by orders of magnitude.
+#[allow(clippy::too_many_arguments)] // flat knobs of a leaf runner
+pub fn run_backbone_modes(
+    net: &DualGraph,
+    adversary: AdversaryKind,
+    seed: u64,
+    b: u64,
+    modes: &[bool],
+    flood_seed: u64,
+    flood_budget: u64,
+    max_rounds: Option<u64>,
+) -> Vec<RunRecord> {
+    let n = net.n();
+    let delta = net.max_degree_g();
+    let mode_name = |everyone: bool| if everyone { "flood-all" } else { "backbone" };
+    let cfg = CcdsConfig::new(n, delta, b);
+    let run = match run_ccds_budget(net, &cfg, adversary, seed, max_rounds) {
+        Ok(run) => run,
+        Err(e) => {
+            return modes
+                .iter()
+                .map(|&everyone| RunRecord::failed(mode_name(everyone), e.to_string()))
+                .collect();
+        }
+    };
+    let ccds: Vec<bool> = run.outputs.iter().map(|o| *o == Some(true)).collect();
+    let backbone_size = ccds.iter().filter(|&&c| c).count();
+    modes
+        .iter()
+        .map(|&everyone| {
+            let mut rec = RunRecord::blank(mode_name(everyone), n, delta);
+            let flags = if everyone {
+                vec![true; n]
+            } else {
+                ccds.clone()
+            };
+            let stats = run_backbone_flood(net, &flags, 0, adversary, flood_seed, flood_budget);
+            rec.valid = stats.coverage_round.is_some();
+            rec.solve_round = stats.coverage_round;
+            rec.rounds_executed = stats.coverage_round.unwrap_or(flood_budget);
+            rec.push_extra("backbone_size", backbone_size as f64);
+            rec.push_extra("broadcasts", stats.broadcasts as f64);
+            rec.push_extra("transmitters", stats.transmitters as f64);
+            rec.outputs = run.outputs.clone();
+            rec
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -285,6 +696,90 @@ mod tests {
         let run = run_tau_ccds(&net, &det, &cfg, AdversaryKind::Random { p: 0.3 }, 11);
         assert!(run.report.terminated && run.report.connected && run.report.dominating);
         assert!(run.winners >= 1);
+    }
+
+    #[test]
+    fn run_algo_covers_every_kind() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let net = random_geometric(&RandomGeometricConfig::dense(24), &mut rng).unwrap();
+        let path = radio_sim::DualGraph::classic(
+            Graph::from_edges(8, (0..7).map(|i| (i, i + 1))).unwrap(),
+        )
+        .unwrap();
+        let kinds = [
+            (AlgoKind::Mis, &net),
+            (AlgoKind::Ccds { b: 256 }, &net),
+            (
+                AlgoKind::TauCcds {
+                    tau: 1,
+                    spurious: SpuriousSource::UnreliableNeighbors,
+                },
+                &net,
+            ),
+            (AlgoKind::AsyncMis, &net),
+            (AlgoKind::ContinuousDynamic { b: 256 }, &path),
+            (
+                AlgoKind::Backbone {
+                    b: 256,
+                    everyone: false,
+                    flood_seed: 11,
+                    flood_budget: 100_000,
+                },
+                &net,
+            ),
+        ];
+        for (algo, net) in kinds {
+            let mut det_rng = rand::rngs::StdRng::seed_from_u64(5);
+            let rec = run_algo(
+                net,
+                &algo,
+                AdversaryKind::Random { p: 0.5 },
+                7,
+                &mut det_rng,
+                None,
+            );
+            assert!(rec.error.is_none(), "{algo:?}: {:?}", rec.error);
+            assert!(rec.valid, "{algo:?} must verify");
+            assert_eq!(rec.algo, algo.name());
+            assert_eq!(rec.n, net.n());
+            // The record round-trips through the vendored serde.
+            let json = serde_json::to_string(&rec).expect("record serializes");
+            let back: RunRecord = serde_json::from_str(&json).expect("record parses");
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn run_algo_reports_schedule_errors() {
+        let g = Graph::from_edges(9, (0..8).map(|i| (i, i + 1))).unwrap();
+        let net = radio_sim::DualGraph::classic(g).unwrap();
+        let mut det_rng = rand::rngs::StdRng::seed_from_u64(5);
+        let rec = run_algo(
+            &net,
+            &AlgoKind::Ccds { b: 1 },
+            AdversaryKind::ReliableOnly,
+            3,
+            &mut det_rng,
+            None,
+        );
+        assert!(rec.error.is_some());
+        assert!(!rec.valid);
+    }
+
+    #[test]
+    fn budget_cap_truncates_runs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let net = random_geometric(&RandomGeometricConfig::dense(24), &mut rng).unwrap();
+        let mut det_rng = rand::rngs::StdRng::seed_from_u64(5);
+        let rec = run_algo(
+            &net,
+            &AlgoKind::Mis,
+            AdversaryKind::Random { p: 0.5 },
+            7,
+            &mut det_rng,
+            Some(3),
+        );
+        assert_eq!(rec.rounds_executed, 3);
     }
 
     #[test]

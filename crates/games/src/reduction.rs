@@ -27,6 +27,7 @@
 
 use crate::double::DoublePlayer;
 use crate::single::SinglePlayer;
+use radio_sim::ProcessRng;
 use radio_sim::{Context, MessageSize, Process, ProcessId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -51,7 +52,7 @@ pub struct CliquePlayer<P: Process> {
     procs: Vec<P>,
     detectors: Vec<BTreeSet<u32>>,
     ids: Vec<u32>,
-    rngs: Vec<StdRng>,
+    rngs: Vec<ProcessRng>,
     n_total: usize,
     beta: u32,
     role: CliqueRole,
@@ -94,7 +95,7 @@ impl<P: Process> CliquePlayer<P> {
             let pid = ProcessId::new_unchecked(id);
             procs.push(factory(pid, &det, n_total));
             detectors.push(det);
-            rngs.push(StdRng::seed_from_u64(master.gen()));
+            rngs.push(ProcessRng::seed_from_u64(master.gen()));
         }
         CliquePlayer {
             procs,

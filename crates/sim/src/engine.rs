@@ -46,7 +46,7 @@ use crate::dynamic::DetectorProvider;
 use crate::graph::NeighborStamps;
 use crate::ids::{IdAssignment, NodeId, ProcessId};
 use crate::network::DualGraph;
-use crate::process::{Action, Context, MessageSize, Process};
+use crate::process::{Action, Context, MessageSize, Process, ProcessRng};
 use crate::trace::{ExecutionMetrics, RoundRecord, Trace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -232,9 +232,12 @@ impl EngineBuilder {
         // worst cases (full unreliable layer, or ≤ 2 edges per listener) so
         // steady state never grows it.
         let extra_capacity = self.net.unreliable_edge_count().max(2 * n);
+        // Per-process seeds come from the master StdRng (pinned stream);
+        // the per-process generators themselves are the cheap SmallRng —
+        // process coins dominate RNG volume at steady state.
         let mut master = StdRng::seed_from_u64(self.seed);
         let rngs = (0..n)
-            .map(|_| StdRng::seed_from_u64(master.gen()))
+            .map(|_| ProcessRng::seed_from_u64(master.gen()))
             .collect();
         let procs = (0..n)
             .map(|v| {
@@ -358,7 +361,7 @@ pub struct Engine<P: Process> {
     adversary: Box<dyn Adversary>,
     detectors: Box<dyn DetectorProvider>,
     wake_rounds: Vec<u64>,
-    rngs: Vec<StdRng>,
+    rngs: Vec<ProcessRng>,
     round: u64,
     metrics: ExecutionMetrics,
     trace: Option<Trace>,

@@ -71,6 +71,7 @@ mod graph;
 mod ids;
 mod network;
 mod process;
+pub mod spec;
 pub mod topology;
 mod trace;
 
@@ -81,5 +82,6 @@ pub use engine::{Engine, EngineBuilder, EngineError, RunOutcome, SpawnInfo, Stop
 pub use graph::{CsrGraph, Graph, GraphError, NeighborStamps};
 pub use ids::{IdAssignment, NodeId, ProcessId};
 pub use network::{DualGraph, NetworkError};
-pub use process::{Action, Context, MessageSize, Process};
+pub use process::{Action, Context, MessageSize, Process, ProcessRng};
+pub use spec::{AdversaryKind, TopologyKind};
 pub use trace::{ExecutionMetrics, RoundRecord, Trace};

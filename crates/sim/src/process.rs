@@ -8,8 +8,16 @@
 //! collision are indistinguishable: there is no collision detection).
 
 use crate::ids::ProcessId;
-use rand::rngs::StdRng;
 use std::collections::BTreeSet;
+
+/// The generator backing each process's private randomness.
+///
+/// Process randomness is the highest-volume RNG use in the simulator (every
+/// `gen_bool` coin of every process of every round), so it uses the cheap
+/// single-word [`rand::rngs::SmallRng`]. Per-process *seeds* are still
+/// derived from the engine's master [`rand::rngs::StdRng`], so executions
+/// remain deterministic per engine seed.
+pub type ProcessRng = rand::rngs::SmallRng;
 
 /// Sizing of messages in bits, used to enforce the model's bound `b`.
 ///
@@ -69,7 +77,7 @@ pub struct Context<'a> {
     /// Current link detector output `L_u` (raw process-id numbers).
     pub detector: &'a BTreeSet<u32>,
     /// Private randomness for this process.
-    pub rng: &'a mut StdRng,
+    pub rng: &'a mut ProcessRng,
 }
 
 /// A per-node automaton participating in a synchronous execution.

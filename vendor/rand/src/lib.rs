@@ -203,6 +203,35 @@ pub mod rngs {
             result
         }
     }
+
+    /// A small, cheap generator for high-volume process randomness
+    /// (upstream `rand`'s `SmallRng` role): SplitMix64, one 64-bit word of
+    /// state and ~3 arithmetic ops per draw. Statistically solid for
+    /// simulation workloads but, like upstream's, not reproducible across
+    /// library versions — derive seeds from [`StdRng`] when a stream must
+    /// stay pinned.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // The seed is a raw position in SplitMix64's single 2^64
+            // sequence: seeds that differ by the golden-gamma increment
+            // yield the same stream offset by one draw. Derive seeds from
+            // a master `StdRng` (as the engine does) rather than from
+            // structured values when streams must be independent.
+            SmallRng { state: seed }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
 }
 
 pub mod seq {
@@ -247,6 +276,25 @@ mod tests {
     use super::rngs::StdRng;
     use super::seq::SliceRandom;
     use super::{Rng, SeedableRng};
+
+    #[test]
+    fn small_rng_is_deterministic_and_fair() {
+        use super::rngs::SmallRng;
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        assert_eq!(xs, ys);
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(xs, (0..8).map(|_| c.gen::<u64>()).collect::<Vec<_>>());
+        let mut rng = SmallRng::seed_from_u64(7);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&hits), "biased coin: {hits}");
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(0..17);
+            assert!(x < 17);
+        }
+    }
 
     #[test]
     fn deterministic_per_seed() {
