@@ -7,8 +7,9 @@
 //! radio-lab my_scenario.json            # run a user-authored ScenarioSpec
 //! radio-lab e1 e5 --quick               # registry experiments at smoke scale
 //! radio-lab --all --full                # the whole E1–E11 suite
-//! radio-lab spec.json --threads 4       # cap the trial-runner parallelism
+//! radio-lab spec.json --threads 4       # scoped pool for this run only
 //! radio-lab spec.json --out results.json
+//! radio-lab spec.json --csv results.csv # aggregated/raw tables as CSV
 //! ```
 //!
 //! Positional arguments naming registry ids (`e1`..`e11`) expand to the
@@ -16,9 +17,16 @@
 //! Tables print to stdout; the results file records, per scenario, the
 //! spec, the rendered tables, the planned units, every `RunRecord`, and
 //! the sweep's wall-clock seconds.
+//!
+//! `--threads N` installs a **scoped** [`ThreadPool`] for this run instead
+//! of mutating `RAYON_NUM_THREADS`, so concurrent labs in one process (or
+//! test harness) size their pools independently. A user spec with
+//! `"render": "Aggregate"` (or an `"aggregate"` group-by block) prints a
+//! grouped summary table — mean, CI, percentiles — instead of one raw row
+//! per record; `--csv` writes whatever tables render as CSV.
 
 use radio_bench::scenario::{registry, render, run_spec, ScenarioRun, ScenarioSpec};
-use radio_bench::Table;
+use radio_bench::{Table, ThreadPool};
 use serde::Serialize;
 
 /// One executed scenario in the results file.
@@ -38,41 +46,66 @@ struct LabReport {
     scenarios: Vec<LabScenario>,
 }
 
+const USAGE: &str = "usage: radio-lab [SPEC.json | e1..e11 | --all] [--quick|--full] \
+[--threads N] [--out PATH] [--csv PATH] [--json]\n\
+\n\
+SPEC.json is a ScenarioSpec; give it \"render\": \"Aggregate\" (or an\n\
+\"aggregate\" block with group_by keys and metric reductions) for a\n\
+grouped mean/CI/percentile summary instead of one row per record —\n\
+see examples/aggregate_mis.json for the end-to-end shape.\n\
+--threads N uses a scoped pool for this run only (no global state);\n\
+--csv writes each rendered table as CSV (a single table lands at PATH;\n\
+several get the table id spliced in before the extension).";
+
 fn usage() -> ! {
-    eprintln!(
-        "usage: radio-lab [SPEC.json | e1..e11 | --all] [--quick|--full] \
-         [--threads N] [--out PATH] [--json]"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let json_tables = args.iter().any(|a| a == "--json");
     let all = args.iter().any(|a| a == "--all");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map_or("LAB_results.json", String::as_str)
+    // A value-taking flag's argument must exist and not itself be a flag —
+    // `--csv --json` silently writing a file named "--json" is worse than
+    // exiting.
+    let flag_value = |flag: &str| -> Option<&str> {
+        let i = args.iter().position(|a| a == flag)?;
+        match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Some(v),
+            _ => {
+                eprintln!("{flag} requires a value");
+                usage();
+            }
+        }
+    };
+    let out_path = flag_value("--out")
+        .unwrap_or("LAB_results.json")
         .to_string();
-    if let Some(i) = args.iter().position(|a| a == "--threads") {
-        let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
+    let csv_path = flag_value("--csv").map(str::to_string);
+    // A scoped pool for this run: nothing process-global changes, so
+    // concurrent labs (or a test harness running labs in parallel) each
+    // keep their own width.
+    let pool = flag_value("--threads").map(|v| match v.parse::<usize>() {
+        Ok(n) if n >= 1 => ThreadPool::new(n),
+        _ => {
+            eprintln!("--threads requires a positive integer, got {v}");
             usage();
-        };
-        // The vendored rayon reads this on every fan-out, so setting it
-        // up front caps the whole run.
-        std::env::set_var("RAYON_NUM_THREADS", n.to_string());
-    }
+        }
+    });
     let mut skip_next = false;
     let mut inputs: Vec<String> = Vec::new();
-    for (i, a) in args.iter().enumerate() {
+    for a in &args {
         if skip_next {
             skip_next = false;
             continue;
         }
-        if a == "--out" || a == "--threads" {
+        if a == "--out" || a == "--threads" || a == "--csv" {
             skip_next = true;
             continue;
         }
@@ -83,7 +116,6 @@ fn main() {
             }
             continue;
         }
-        let _ = i;
         inputs.push(a.clone());
     }
     if all {
@@ -123,6 +155,7 @@ fn main() {
         wall_s_total: 0.0,
         scenarios: Vec::new(),
     };
+    let mut csv_tables: Vec<(String, String)> = Vec::new();
     for spec in specs {
         eprintln!(
             "running {} ({} units{})...",
@@ -130,8 +163,14 @@ fn main() {
             spec.grid_size(),
             if quick { ", quick" } else { "" }
         );
-        let run = run_spec(&spec);
+        let run = match &pool {
+            Some(p) => p.install(|| run_spec(&spec)),
+            None => run_spec(&spec),
+        };
         let table = render(&spec, &run);
+        if csv_path.is_some() {
+            csv_tables.push((table.id.clone(), table.to_csv()));
+        }
         if json_tables {
             println!(
                 "{}",
@@ -153,6 +192,29 @@ fn main() {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(1);
     });
+    if let Some(path) = &csv_path {
+        // One table → exactly the requested path; several tables get the
+        // table id spliced in before the extension (one well-formed CSV
+        // per file — concatenating tables with different headers would
+        // parse as a ragged mess).
+        for (id, csv) in &csv_tables {
+            let target = if csv_tables.len() == 1 {
+                path.clone()
+            } else {
+                let p = std::path::Path::new(path);
+                let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("tables");
+                let ext = p.extension().and_then(|s| s.to_str()).unwrap_or("csv");
+                p.with_file_name(format!("{stem}_{id}.{ext}"))
+                    .to_string_lossy()
+                    .into_owned()
+            };
+            std::fs::write(&target, csv).unwrap_or_else(|e| {
+                eprintln!("cannot write {target}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {target}");
+        }
+    }
     eprintln!(
         "wrote {out_path} ({} scenarios, {:.3}s total)",
         report.scenarios.len(),

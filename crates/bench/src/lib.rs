@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod aggregate;
 pub mod enginebench;
 pub mod experiments;
 pub mod parallel;
@@ -20,7 +21,8 @@ pub mod scenario;
 pub mod stats;
 pub mod table;
 
+pub use aggregate::AggregateSpec;
 pub use experiments::{run_experiment, ALL_EXPERIMENTS};
-pub use parallel::run_trials;
+pub use parallel::{run_trials, run_trials_in, ThreadPool};
 pub use scenario::{render, run_spec, ScenarioRun, ScenarioSpec};
 pub use table::Table;

@@ -7,10 +7,15 @@
 //! parallel sweeps bit-identical to the serial `for s in 0..trials` loop
 //! they replace — a property the determinism regression test pins down.
 //!
-//! Set `RAYON_NUM_THREADS=1` to force serial execution (e.g. when
-//! profiling a single trial).
+//! Parallelism is sized by the ambient [`rayon::ThreadPool`] when one is
+//! installed (see [`run_trials_in`]), falling back to `RAYON_NUM_THREADS`
+//! and then the machine's parallelism. Prefer a scoped pool over the env
+//! var: pools are per-run values, so concurrent sweeps in one process
+//! don't race on global state. `RAYON_NUM_THREADS=1` still forces serial
+//! execution when no pool is installed (e.g. when profiling a trial).
 
 use rayon::prelude::*;
+pub use rayon::ThreadPool;
 
 /// Runs `trials` independent trials of `f` in parallel, returning
 /// `[f(0), f(1), …]` exactly as the serial loop would.
@@ -34,6 +39,26 @@ where
     (0..trials).into_par_iter().map(f).collect()
 }
 
+/// [`run_trials`] on an explicit scoped pool: the fan-out uses the pool's
+/// worker count instead of the ambient/global configuration. Results are
+/// identical to [`run_trials`] (and to the serial loop) — only the degree
+/// of parallelism changes.
+///
+/// # Examples
+///
+/// ```
+/// use radio_bench::parallel::{run_trials, run_trials_in, ThreadPool};
+/// let pool = ThreadPool::new(2);
+/// assert_eq!(run_trials_in(&pool, 8, |t| t + 1), run_trials(8, |t| t + 1));
+/// ```
+pub fn run_trials_in<R, F>(pool: &ThreadPool, trials: u64, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    pool.install(|| run_trials(trials, f))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,5 +75,14 @@ mod tests {
     #[test]
     fn zero_trials_is_empty() {
         assert!(run_trials(0, |t| t).is_empty());
+    }
+
+    #[test]
+    fn pool_variant_matches_every_width() {
+        let expect: Vec<u64> = (0u64..37).map(|t| t ^ 0xdead).collect();
+        for width in [1usize, 2, 7] {
+            let pool = ThreadPool::new(width);
+            assert_eq!(run_trials_in(&pool, 37, |t| t ^ 0xdead), expect);
+        }
     }
 }

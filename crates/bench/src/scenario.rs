@@ -30,6 +30,7 @@
 //!   yield several records — e.g. the two-clique sweep — but the planner
 //!   never drops or duplicates a grid cell).
 
+use crate::aggregate::AggregateSpec;
 use crate::parallel::run_trials;
 use crate::stats::loglog_exponent;
 use crate::table::{f1, f3, Table};
@@ -234,8 +235,13 @@ pub enum RenderKind {
     E10,
     E11,
     /// One row per record: topology, adversary, workload, trial, and the
-    /// common result columns.
+    /// common result columns. When the spec carries an
+    /// [`ScenarioSpec::aggregate`] block, renders the grouped summary
+    /// instead.
     Generic,
+    /// Grouped summary statistics per [`ScenarioSpec::aggregate`] (the
+    /// [`AggregateSpec::default`] grouping when the block is absent).
+    Aggregate,
 }
 
 /// A declarative experiment: the grid, its seeds, and its presentation.
@@ -261,6 +267,10 @@ pub struct ScenarioSpec {
     pub seeds: SeedPolicy,
     /// Stop condition applied to every unit.
     pub stop: StopCondition,
+    /// Optional group-by aggregation (used by [`RenderKind::Aggregate`]
+    /// and, when present, [`RenderKind::Generic`]). Absent in older spec
+    /// files — they parse unchanged.
+    pub aggregate: Option<AggregateSpec>,
 }
 
 /// One planned execution: a grid cell × trial with its derived seeds.
@@ -575,7 +585,21 @@ pub fn render(spec: &ScenarioSpec, run: &ScenarioRun) -> Table {
         RenderKind::E9b => render_e9b(spec, run),
         RenderKind::E10 => render_e10(spec, run),
         RenderKind::E11 => render_e11(spec, run),
-        RenderKind::Generic => render_generic(spec, run),
+        RenderKind::Generic => match &spec.aggregate {
+            Some(agg) => crate::aggregate::render_aggregate(spec, run, agg),
+            None => render_generic(spec, run),
+        },
+        RenderKind::Aggregate => {
+            let default;
+            let agg = match &spec.aggregate {
+                Some(agg) => agg,
+                None => {
+                    default = AggregateSpec::default();
+                    &default
+                }
+            };
+            crate::aggregate::render_aggregate(spec, run, agg)
+        }
     }
 }
 
@@ -1098,6 +1122,7 @@ mod tests {
                 run_base: 7,
             },
             stop: StopCondition::Default,
+            aggregate: None,
         }
     }
 

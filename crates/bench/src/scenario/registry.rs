@@ -37,6 +37,7 @@ fn base_spec(id: &str, caption: &str, render: RenderKind) -> ScenarioSpec {
             run_base: 0,
         },
         stop: StopCondition::Default,
+        aggregate: None,
     }
 }
 

@@ -1,5 +1,19 @@
-//! Small statistics helpers for the experiment tables: least-squares fits
-//! used to report measured scaling exponents next to the theorems' claims.
+//! The statistics layer of the experiment harness.
+//!
+//! Two halves:
+//!
+//! * **Fits** ([`linear_fit`], [`loglog_exponent`]) — least-squares slopes
+//!   used to report measured scaling exponents next to the theorems'
+//!   claims, plus the naive two-pass [`mean`] / [`stddev`] kept as the
+//!   *reference implementations* the streaming accumulators are
+//!   property-tested against.
+//! * **Streaming accumulators** ([`Welford`], [`P2Quantile`],
+//!   [`StreamingSummary`]) — bounded-memory, single-pass summaries the
+//!   aggregation engine folds run records into. Every accumulator has a
+//!   `merge` so per-thread partials combine; merging partials **in
+//!   trial-index order** reproduces the sequential single-pass fold
+//!   bit-for-bit while the accumulators still hold their raw samples, and
+//!   within floating-point tolerance (and any order) afterwards.
 
 /// Ordinary least-squares slope and intercept of `y = a·x + b`.
 ///
@@ -72,6 +86,465 @@ pub fn stddev(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() as f64 - 1.0)).sqrt()
 }
 
+/// Welford's online mean/variance: one pass, O(1) state, no catastrophic
+/// cancellation (the textbook two-pass algorithm is [`mean`]/[`stddev`],
+/// kept as the property-test reference).
+///
+/// # Examples
+///
+/// ```
+/// use radio_bench::stats::Welford;
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert!((w.mean() - 5.0).abs() < 1e-12);
+/// assert!((w.stddev() - 2.138089935299395).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance, n−1 denominator (`NaN` below two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count as f64 - 1.0)
+        }
+    }
+
+    /// Sample standard deviation (`NaN` below two observations).
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Combines another accumulator into this one (Chan et al.'s parallel
+    /// update). Exact in exact arithmetic; in floating point the result
+    /// agrees with the sequential fold to within rounding, independent of
+    /// how the stream was split.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+    }
+}
+
+/// The P² (piecewise-parabolic) streaming quantile estimator of Jain &
+/// Chlamtac (CACM 1985): tracks one quantile of an unbounded stream with
+/// five markers and O(1) state, no stored samples.
+///
+/// Exact for the first five observations; a heuristic estimate afterwards
+/// (the classic convergence results apply). [`StreamingSummary`] keeps raw
+/// samples up to a cap and only falls back to P² markers beyond it, which
+/// is why its small-sample percentiles are exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Quantile {
+    q: f64,
+    /// First five observations, sorted on the fly, until the markers boot.
+    init: Vec<f64>,
+    heights: [f64; 5],
+    /// Marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    desired: [f64; 5],
+    increments: [f64; 5],
+    count: u64,
+}
+
+impl P2Quantile {
+    /// An estimator of the `q`-quantile (`0 < q < 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1), got {q}");
+        P2Quantile {
+            q,
+            init: Vec::with_capacity(5),
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The tracked quantile.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds one observation in.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        if self.count <= 5 {
+            let at = self.init.partition_point(|&v| v < x);
+            self.init.insert(at, x);
+            if self.count == 5 {
+                self.heights.copy_from_slice(&self.init);
+            }
+            return;
+        }
+        // Locate the cell and clamp the extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // h[k] <= x < h[k+1]
+            (1..5)
+                .find(|&i| x < self.heights[i])
+                .expect("x < heights[4] here")
+                - 1
+        };
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+        // Adjust the three interior markers toward their desired ranks.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            if (d >= 1.0 && self.positions[i + 1] - self.positions[i] > 1.0)
+                || (d <= -1.0 && self.positions[i - 1] - self.positions[i] < -1.0)
+            {
+                let d = d.signum();
+                let parabolic = self.parabolic(i, d);
+                self.heights[i] =
+                    if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                        parabolic
+                    } else {
+                        self.linear(i, d)
+                    };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    /// The piecewise-parabolic (P²) height update.
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, n, np) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
+        h + d / (np - nm)
+            * ((n - nm + d) * (hp - h) / (np - n) + (np - n - d) * (h - hm) / (n - nm))
+    }
+
+    /// The linear fallback when the parabola leaves the bracket.
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current estimate of the tracked quantile (`NaN` when empty;
+    /// exact sorted-sample interpolation below five observations).
+    pub fn estimate(&self) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        if self.count <= 5 {
+            return interpolate_sorted(&self.init, self.q);
+        }
+        self.heights[2]
+    }
+}
+
+/// Exact quantile of an already-sorted slice by linear interpolation
+/// (type R-7, `h = (n−1)·q` — numpy/Excel's default).
+fn interpolate_sorted(sorted: &[f64], q: f64) -> f64 {
+    match sorted.len() {
+        0 => f64::NAN,
+        1 => sorted[0],
+        n => {
+            let h = (n - 1) as f64 * q;
+            let lo = h.floor() as usize;
+            let hi = h.ceil() as usize;
+            sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+        }
+    }
+}
+
+/// Raw samples a [`StreamingSummary`] retains before collapsing its
+/// percentile state to P² markers. Below the cap every reported percentile
+/// is exact; the experiment grids this repo sweeps (a handful to a few
+/// hundred trials per cell) never reach it.
+pub const EXACT_QUANTILE_CAP: usize = 1024;
+
+/// A single-pass summary of one metric within one aggregation group:
+/// count, min/max, Welford mean/variance, and median/p90/p99.
+///
+/// Memory is bounded: raw samples are kept (in arrival order) up to
+/// [`EXACT_QUANTILE_CAP`], beyond which the percentile state collapses to
+/// three [`P2Quantile`] markers replayed from the buffered prefix —
+/// mean/variance/min/max stay exact regardless.
+///
+/// # Merging
+///
+/// [`StreamingSummary::merge`] combines per-thread partials. While the
+/// right-hand side still holds its raw samples (the common case — partials
+/// are per grid cell), merging in trial-index order replays those samples,
+/// so the percentile state is **identical** to the sequential fold;
+/// count/min/max merge exactly in any order and mean/variance agree with
+/// the sequential fold to within floating-point rounding (Chan's
+/// parallel update). Merging a partial that has itself collapsed
+/// approximates its distribution by its five marker heights
+/// (count-weighted) and is the one lossy path — the aggregation engine
+/// never takes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingSummary {
+    welford: Welford,
+    min: f64,
+    max: f64,
+    /// Arrival-order samples; `None` once collapsed to markers.
+    samples: Option<Vec<f64>>,
+    /// Markers for (median, p90, p99); `Some` only after collapse.
+    markers: Option<Box<[P2Quantile; 3]>>,
+}
+
+impl Default for StreamingSummary {
+    fn default() -> Self {
+        StreamingSummary {
+            welford: Welford::new(),
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            samples: Some(Vec::new()),
+            markers: None,
+        }
+    }
+}
+
+impl StreamingSummary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        StreamingSummary::default()
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.welford.push(x);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        if let Some(samples) = &mut self.samples {
+            samples.push(x);
+            if samples.len() > EXACT_QUANTILE_CAP {
+                self.collapse();
+            }
+        } else {
+            for m in self
+                .markers
+                .as_mut()
+                .expect("collapsed ⇒ markers")
+                .iter_mut()
+            {
+                m.observe(x);
+            }
+        }
+    }
+
+    /// Drops the raw-sample buffer, replaying it (in arrival order) into
+    /// fresh P² markers — deterministic, so chunked merges equal the
+    /// sequential feed bit-for-bit.
+    fn collapse(&mut self) {
+        let samples = self.samples.take().expect("collapse only from exact mode");
+        let mut markers = Box::new([
+            P2Quantile::new(0.50),
+            P2Quantile::new(0.90),
+            P2Quantile::new(0.99),
+        ]);
+        for &x in &samples {
+            for m in markers.iter_mut() {
+                m.observe(x);
+            }
+        }
+        self.markers = Some(markers);
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.welford.count()
+    }
+
+    /// Running mean (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        self.welford.mean()
+    }
+
+    /// Sample variance (`NaN` below two observations).
+    pub fn variance(&self) -> f64 {
+        self.welford.variance()
+    }
+
+    /// Sample standard deviation (`NaN` below two observations).
+    pub fn stddev(&self) -> f64 {
+        self.welford.stddev()
+    }
+
+    /// Smallest observation (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        if self.count() == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        if self.count() == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval of
+    /// the mean, `1.96·s/√n` (`NaN` below two observations).
+    pub fn ci95_half(&self) -> f64 {
+        1.96 * self.stddev() / (self.count() as f64).sqrt()
+    }
+
+    /// The `q`-quantile: exact (R-7 interpolation) while raw samples are
+    /// retained; after collapse, the matching P² marker for `q` ∈
+    /// {0.5, 0.9, 0.99} and `NaN` for any other request.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if let Some(samples) = &self.samples {
+            let mut sorted = samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            return interpolate_sorted(&sorted, q);
+        }
+        self.markers
+            .as_ref()
+            .expect("collapsed ⇒ markers")
+            .iter()
+            .find(|m| m.q() == q)
+            .map_or(f64::NAN, P2Quantile::estimate)
+    }
+
+    /// The median (exact below [`EXACT_QUANTILE_CAP`] samples).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// The 90th percentile.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.9)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Sum of all observations, reconstructed as `count·mean` — subject to
+    /// the running mean's rounding, so an integer-valued stream's sum can
+    /// land a few ulps off the true integer (callers wanting an integer
+    /// count, e.g. a `valid/trials` cell, should `round()`).
+    pub fn sum(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            self.welford.mean() * self.count() as f64
+        }
+    }
+
+    /// Combines `other` into `self` (see the type docs for exactness).
+    pub fn merge(&mut self, other: &StreamingSummary) {
+        if other.count() == 0 {
+            return;
+        }
+        self.welford.merge(&other.welford);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        match &other.samples {
+            Some(theirs) => {
+                if let Some(samples) = &mut self.samples {
+                    samples.extend_from_slice(theirs);
+                    if samples.len() > EXACT_QUANTILE_CAP {
+                        self.collapse();
+                    }
+                } else {
+                    let markers = self.markers.as_mut().expect("collapsed ⇒ markers");
+                    for &x in theirs {
+                        for m in markers.iter_mut() {
+                            m.observe(x);
+                        }
+                    }
+                }
+            }
+            None => {
+                // Lossy path: the right-hand side's raw samples are gone,
+                // so stand in its five marker heights, count-weighted.
+                let theirs = other.markers.as_ref().expect("collapsed ⇒ markers");
+                if self.samples.is_some() {
+                    self.collapse();
+                }
+                let markers = self.markers.as_mut().expect("collapsed above");
+                let reps = (other.count() / 5).max(1);
+                for (m, t) in markers.iter_mut().zip(theirs.iter()) {
+                    for &h in &t.heights {
+                        for _ in 0..reps {
+                            m.observe(h);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +584,146 @@ mod tests {
         assert!((stddev(&xs) - 2.138089935299395).abs() < 1e-9);
         assert!(mean(&[]).is_nan());
         assert!(stddev(&[1.0]).is_nan());
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), xs.len() as u64);
+        assert!((w.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((w.stddev() - stddev(&xs)).abs() < 1e-12);
+        assert!(Welford::new().mean().is_nan());
+        let mut one = Welford::new();
+        one.push(3.0);
+        assert!(one.variance().is_nan());
+    }
+
+    #[test]
+    fn welford_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| f64::from(i) * 0.37 - 11.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        for split in [0usize, 1, 37, 99, 100] {
+            let (a, b) = xs.split_at(split);
+            let mut left = Welford::new();
+            a.iter().for_each(|&x| left.push(x));
+            let mut right = Welford::new();
+            b.iter().for_each(|&x| right.push(x));
+            left.merge(&right);
+            assert_eq!(left.count(), whole.count());
+            assert!((left.mean() - whole.mean()).abs() < 1e-9);
+            assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn p2_jain_chlamtac_worked_example() {
+        // The median-tracking example from Jain & Chlamtac (CACM 28(10),
+        // 1985), Table I: after the 20 observations below the P² median
+        // estimate is 4.44.
+        let data = [
+            0.02, 0.15, 0.74, 3.39, 0.83, 22.37, 10.15, 15.43, 38.62, 15.92, 34.60, 10.28, 1.47,
+            0.40, 0.05, 11.39, 0.27, 0.42, 0.09, 11.37,
+        ];
+        let mut p2 = P2Quantile::new(0.5);
+        for &x in &data {
+            p2.observe(x);
+        }
+        assert_eq!(p2.count(), 20);
+        assert!((p2.estimate() - 4.44).abs() < 0.01, "got {}", p2.estimate());
+    }
+
+    #[test]
+    fn p2_converges_on_uniform_stream() {
+        // SplitMix64-style scramble: deterministic pseudo-uniform stream.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(0xd129_8a2e_03e1_5241).wrapping_add(1);
+            let z = state ^ (state >> 31);
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut med = P2Quantile::new(0.5);
+        let mut p90 = P2Quantile::new(0.9);
+        for _ in 0..10_000 {
+            let x = next();
+            med.observe(x);
+            p90.observe(x);
+        }
+        assert!(
+            (med.estimate() - 0.5).abs() < 0.02,
+            "got {}",
+            med.estimate()
+        );
+        assert!(
+            (p90.estimate() - 0.9).abs() < 0.02,
+            "got {}",
+            p90.estimate()
+        );
+    }
+
+    #[test]
+    fn summary_small_sample_is_exact() {
+        let mut s = StreamingSummary::new();
+        for x in [9.0, 1.0, 5.0, 3.0, 7.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.median() - 5.0).abs() < 1e-12);
+        // R-7 on [1,3,5,7,9]: h = 4*0.9 = 3.6 → 7 + 0.6*(9-7) = 8.2.
+        assert!((s.p90() - 8.2).abs() < 1e-12);
+        assert!((s.sum() - 25.0).abs() < 1e-12);
+        let empty = StreamingSummary::new();
+        assert!(empty.mean().is_nan());
+        assert!(empty.min().is_nan());
+        assert!(empty.median().is_nan());
+    }
+
+    #[test]
+    fn summary_collapse_is_deterministic_across_chunked_merges() {
+        let n = EXACT_QUANTILE_CAP + 500;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| ((i * 2_654_435_761) % 10_007) as f64)
+            .collect();
+        let mut sequential = StreamingSummary::new();
+        xs.iter().for_each(|&x| sequential.push(x));
+        // Merge ordered chunks whose right-hand sides kept their samples:
+        // the percentile state must replay identically.
+        let mut chunked = StreamingSummary::new();
+        for chunk in xs.chunks(333) {
+            let mut part = StreamingSummary::new();
+            chunk.iter().for_each(|&x| part.push(x));
+            chunked.merge(&part);
+        }
+        assert_eq!(chunked.count(), sequential.count());
+        assert_eq!(chunked.median().to_bits(), sequential.median().to_bits());
+        assert_eq!(chunked.p90().to_bits(), sequential.p90().to_bits());
+        assert_eq!(chunked.p99().to_bits(), sequential.p99().to_bits());
+        assert!((chunked.mean() - sequential.mean()).abs() < 1e-9);
+        // Collapsed percentiles stay close to the exact values.
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let exact_med = sorted[sorted.len() / 2];
+        assert!((sequential.median() - exact_med).abs() / exact_med.abs() < 0.05);
+        // Untracked quantiles are unavailable after collapse.
+        assert!(sequential.quantile(0.25).is_nan());
+    }
+
+    #[test]
+    fn summary_ci_half_width() {
+        let mut s = StreamingSummary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        let expect = 1.96 * 2.138089935299395 / 8f64.sqrt();
+        assert!((s.ci95_half() - expect).abs() < 1e-9);
     }
 }

@@ -70,6 +70,27 @@ impl Table {
         }
         out
     }
+
+    /// Renders the table as RFC 4180-style CSV: the header line then one
+    /// line per row, fields quoted when they contain commas, quotes, or
+    /// newlines. The id/caption are not embedded — the file is pure data
+    /// for spreadsheets and plotting scripts (`radio-lab --csv`).
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(['"', ',', '\n', '\r']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        for cells in std::iter::once(&self.header).chain(&self.rows) {
+            let line: Vec<String> = cells.iter().map(|c| field(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
 }
 
 /// Formats a float with 1 decimal.
@@ -110,6 +131,18 @@ mod tests {
     fn rejects_bad_rows() {
         let mut t = Table::new("E0", "demo", &["a"]);
         t.push(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        let mut t = Table::new("E0", "demo", &["name", "value"]);
+        t.push(vec!["plain".into(), "1,234".into()]);
+        t.push(vec!["has \"quote\"".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert_eq!(
+            csv,
+            "name,value\nplain,\"1,234\"\n\"has \"\"quote\"\"\",2\n"
+        );
     }
 
     #[test]

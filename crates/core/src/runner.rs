@@ -413,6 +413,9 @@ pub fn run_algo(
             rec.rounds_executed = run.rounds_executed;
             rec.metrics = Some(run.metrics);
             rec.outputs = run.outputs;
+            // The parameter budget, for aggregated tables (E1's "budget"
+            // column reads it as an extra).
+            rec.push_extra("budget", params.total_rounds(n) as f64);
         }
         AlgoKind::Ccds { b } => {
             let cfg = CcdsConfig::new(n, delta, b);

@@ -7,13 +7,18 @@
 //! from a JSON file (pass a path to run your own; without one the example
 //! writes its built-in spec to a temp file and loads that), expanded by
 //! the sweep planner and executed through the parallel trial runner —
-//! the `radio-lab` workflow in miniature.
+//! the `radio-lab` workflow in miniature. The spec carries an
+//! **aggregate block**: instead of one raw row per record, the renderer
+//! groups trials by adversary and reports mean solve rounds with a 95%
+//! confidence interval — the statistics-over-trials shape every claim in
+//! the dual-graph model needs (see `radio_bench::aggregate`).
 //!
 //! ```text
 //! cargo run --example unreliable_adversaries --release
 //! cargo run --example unreliable_adversaries --release -- my_spec.json
 //! ```
 
+use radio_bench::aggregate::{AggregateSpec, GroupKey, MetricSource, MetricSpec, Reduction};
 use radio_bench::scenario::{
     render, run_spec, RenderKind, ScenarioSpec, SeedPolicy, StopCondition, TopologyEntry,
     WorkloadEntry,
@@ -63,8 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => {
             let spec = ScenarioSpec {
                 id: "ADV".to_string(),
-                caption: "the sweep above, as a declarative scenario".to_string(),
-                render: RenderKind::Generic,
+                caption: "the sweep above as a declarative scenario: mean solve rounds \
+                          ± 95% CI per adversary over 3 trials"
+                    .to_string(),
+                render: RenderKind::Aggregate,
                 topologies: vec![TopologyEntry::seeded(
                     TopologyKind::GeometricDense { n: 48 },
                     13,
@@ -76,13 +83,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     AdversaryKind::Collider,
                 ],
                 workloads: vec![WorkloadEntry::core(AlgoKind::Mis)],
-                trials: 1,
+                trials: 3,
                 nest: radio_bench::scenario::NestOrder::TopologyMajor,
                 seeds: SeedPolicy {
                     net_base: 13,
                     run_base: 3,
                 },
                 stop: StopCondition::Default,
+                // The group-by block: one row per adversary, trials folded
+                // into count / valid fraction / mean ± CI / worst case.
+                aggregate: Some(AggregateSpec {
+                    group_by: vec![GroupKey::Adversary],
+                    metrics: vec![
+                        MetricSpec::new(MetricSource::SolveRound, vec![Reduction::Count]),
+                        MetricSpec::new(MetricSource::Valid, vec![Reduction::Frac]),
+                        MetricSpec::new(
+                            MetricSource::SolveRound,
+                            vec![Reduction::Ci95, Reduction::Max],
+                        ),
+                        MetricSpec::new(MetricSource::Collisions, vec![Reduction::Mean]),
+                    ],
+                    slope: None,
+                }),
             };
             let path = std::env::temp_dir().join("unreliable_adversaries_spec.json");
             std::fs::write(&path, serde_json::to_string_pretty(&spec)?)?;

@@ -1,0 +1,227 @@
+//! Differential property tests for the streaming statistics layer: the
+//! single-pass accumulators ([`Welford`], [`StreamingSummary`],
+//! [`P2Quantile`]) must agree with the naive two-pass / sorted references
+//! in `radio_bench::stats`, and accumulator `merge` must be associative
+//! and order-independent across arbitrary stream splits.
+
+use proptest::prelude::*;
+use radio_bench::stats::{mean, stddev, P2Quantile, StreamingSummary, Welford, EXACT_QUANTILE_CAP};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random inputs: proptest samples only scalars, so the
+/// vector itself derives from a sampled seed.
+fn random_values(seed: u64, len: usize, scale: f64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| (rng.gen::<f64>() - 0.5) * scale).collect()
+}
+
+/// Naive sorted-reference quantile, reimplemented here (R-7 linear
+/// interpolation) so the test does not share code with the accumulator.
+fn reference_quantile(xs: &[f64], q: f64) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = (n - 1) as f64 * q;
+    let lo = sorted[h.floor() as usize];
+    let hi = sorted[h.ceil() as usize];
+    lo + (h - h.floor()) * (hi - lo)
+}
+
+/// |a − b| within `tol`, absolutely or relative to |b|.
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * b.abs().max(1.0)
+}
+
+/// Splits `xs` at sampled cut points into (possibly empty) consecutive
+/// chunks, one accumulator per chunk.
+fn chunk_summaries(xs: &[f64], cuts: &[usize]) -> Vec<StreamingSummary> {
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (xs.len() + 1)).collect();
+    bounds.push(0);
+    bounds.push(xs.len());
+    bounds.sort_unstable();
+    bounds
+        .windows(2)
+        .map(|w| {
+            let mut s = StreamingSummary::new();
+            xs[w[0]..w[1]].iter().for_each(|&x| s.push(x));
+            s
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Welford agrees with the naive two-pass mean/stddev to 1e-9.
+    #[test]
+    fn welford_matches_two_pass_reference(
+        seed in 0u64..1_000_000,
+        len in 2usize..400,
+        scale in 1.0f64..1e6,
+    ) {
+        let xs = random_values(seed, len, scale);
+        let mut w = Welford::new();
+        xs.iter().for_each(|&x| w.push(x));
+        prop_assert_eq!(w.count(), xs.len() as u64);
+        prop_assert!(close(w.mean(), mean(&xs), 1e-9));
+        prop_assert!(close(w.stddev(), stddev(&xs), 1e-9));
+    }
+
+    /// Exact-mode percentiles agree with the independently-implemented
+    /// sorted reference to 1e-9.
+    #[test]
+    fn summary_percentiles_match_sorted_reference(
+        seed in 0u64..1_000_000,
+        len in 1usize..500,
+        scale in 1.0f64..1e6,
+    ) {
+        let xs = random_values(seed, len, scale);
+        let mut s = StreamingSummary::new();
+        xs.iter().for_each(|&x| s.push(x));
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert!(
+                close(s.quantile(q), reference_quantile(&xs, q), 1e-9),
+                "q={} acc={} ref={}", q, s.quantile(q), reference_quantile(&xs, q)
+            );
+        }
+        let sorted_min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let sorted_max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min(), sorted_min);
+        prop_assert_eq!(s.max(), sorted_max);
+    }
+
+    /// Merging chunked accumulators — any split, any grouping — agrees
+    /// with the single-pass fold to 1e-9 on every statistic.
+    #[test]
+    fn summary_merge_is_order_independent_across_splits(
+        seed in 0u64..1_000_000,
+        len in 1usize..300,
+        cut1 in 0usize..1000,
+        cut2 in 0usize..1000,
+        cut3 in 0usize..1000,
+        scale in 1.0f64..1e4,
+    ) {
+        let xs = random_values(seed, len, scale);
+        let mut whole = StreamingSummary::new();
+        xs.iter().for_each(|&x| whole.push(x));
+
+        let parts = chunk_summaries(&xs, &[cut1, cut2, cut3]);
+        // Left fold: ((a ∪ b) ∪ c) ∪ d …
+        let mut left = StreamingSummary::new();
+        parts.iter().for_each(|p| left.merge(p));
+        // Right-leaning fold: a ∪ (b ∪ (c ∪ d)) …
+        let mut right = StreamingSummary::new();
+        for p in parts.iter().rev() {
+            let mut tail = p.clone();
+            tail.merge(&right);
+            right = tail;
+        }
+
+        for combined in [&left, &right] {
+            prop_assert_eq!(combined.count(), whole.count());
+            prop_assert!(close(combined.mean(), whole.mean(), 1e-9));
+            if whole.count() >= 2 {
+                prop_assert!(close(combined.variance(), whole.variance(), 1e-9));
+            }
+            prop_assert_eq!(combined.min(), whole.min());
+            prop_assert_eq!(combined.max(), whole.max());
+            // Below the collapse cap every partial keeps raw samples, so
+            // merged percentiles are exact — not just close.
+            for q in [0.5, 0.9, 0.99] {
+                prop_assert!(
+                    close(combined.quantile(q), whole.quantile(q), 1e-9),
+                    "q={}", q
+                );
+            }
+        }
+    }
+
+    /// Welford merge alone is associative to 1e-9.
+    #[test]
+    fn welford_merge_is_associative(
+        seed in 0u64..1_000_000,
+        len in 3usize..300,
+        cut1 in 0usize..1000,
+        cut2 in 0usize..1000,
+        scale in 1.0f64..1e4,
+    ) {
+        let xs = random_values(seed, len, scale);
+        let a_end = cut1 % (len + 1);
+        let b_end = a_end + cut2 % (len - a_end + 1);
+        let fold = |slice: &[f64]| {
+            let mut w = Welford::new();
+            slice.iter().for_each(|&x| w.push(x));
+            w
+        };
+        let (a, b, c) = (fold(&xs[..a_end]), fold(&xs[a_end..b_end]), fold(&xs[b_end..]));
+        // (a ∪ b) ∪ c
+        let mut ab = a;
+        ab.merge(&b);
+        ab.merge(&c);
+        // a ∪ (b ∪ c)
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab.count(), a_bc.count());
+        if ab.count() > 0 {
+            prop_assert!(close(ab.mean(), a_bc.mean(), 1e-9));
+        }
+        if ab.count() >= 2 {
+            prop_assert!(close(ab.variance(), a_bc.variance(), 1e-9));
+        }
+    }
+
+    /// Past the exact cap the collapsed P² percentile stays a sane
+    /// estimate, and ordered chunked merges reproduce the sequential feed
+    /// bit-for-bit (the collapse replays arrival order).
+    #[test]
+    fn collapsed_summary_is_deterministic_and_sane(
+        seed in 0u64..1_000_000,
+        extra in 1usize..600,
+    ) {
+        let xs = random_values(seed, EXACT_QUANTILE_CAP + extra, 1000.0);
+        let mut sequential = StreamingSummary::new();
+        xs.iter().for_each(|&x| sequential.push(x));
+        let mut chunked = StreamingSummary::new();
+        for chunk in xs.chunks(97) {
+            let mut part = StreamingSummary::new();
+            chunk.iter().for_each(|&x| part.push(x));
+            chunked.merge(&part);
+        }
+        prop_assert_eq!(
+            chunked.median().to_bits(),
+            sequential.median().to_bits()
+        );
+        prop_assert_eq!(chunked.p90().to_bits(), sequential.p90().to_bits());
+        // P² is an estimator: compare to the exact quantile loosely
+        // (uniform inputs, >1000 samples — classic convergence regime).
+        let exact = reference_quantile(&xs, 0.5);
+        prop_assert!(
+            (sequential.median() - exact).abs() < 50.0,
+            "P2 median {} drifted from exact {}", sequential.median(), exact
+        );
+    }
+}
+
+/// The standalone P² estimator tracks a moving stream with O(1) state —
+/// spot-check convergence on a deterministic uniform stream (the classic
+/// worked example lives in the `stats` unit tests).
+#[test]
+fn p2_estimator_converges_across_quantiles() {
+    let xs = random_values(42, 20_000, 2.0); // uniform-ish in [-1, 1]
+    for q in [0.5, 0.9, 0.99] {
+        let mut p2 = P2Quantile::new(q);
+        xs.iter().for_each(|&x| p2.observe(x));
+        let exact = reference_quantile(&xs, q);
+        assert!(
+            (p2.estimate() - exact).abs() < 0.05,
+            "q={q}: p2={} exact={exact}",
+            p2.estimate()
+        );
+    }
+}

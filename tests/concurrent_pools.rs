@@ -1,0 +1,94 @@
+//! Concurrency regression test for scoped thread pools: two radio-lab
+//! style sweeps running **simultaneously** on separate [`ThreadPool`]s
+//! must produce results bit-identical to their serial runs.
+//!
+//! This pins the bug the scoped pool fixed: `radio-lab --threads` used to
+//! publish its width through the process-global `RAYON_NUM_THREADS`, so a
+//! second lab (or a test harness running labs in parallel) could observe a
+//! half-configured environment and change its own parallelism mid-sweep.
+//! Pools are now per-run values — nothing global moves.
+
+use radio_bench::scenario::{
+    run_spec, NestOrder, RenderKind, ScenarioSpec, SeedPolicy, StopCondition, TopologyEntry,
+    WorkloadEntry,
+};
+use radio_bench::{run_trials, run_trials_in, ScenarioRun, ThreadPool};
+use radio_sim::spec::{AdversaryKind, TopologyKind};
+use radio_structures::runner::AlgoKind;
+
+fn lab_spec(id: &str, n: usize, net_base: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        id: id.to_string(),
+        caption: "concurrent scoped-pool regression".to_string(),
+        render: RenderKind::Generic,
+        topologies: vec![TopologyEntry::new(TopologyKind::GeometricDense { n })],
+        adversaries: vec![
+            AdversaryKind::ReliableOnly,
+            AdversaryKind::Random { p: 0.5 },
+        ],
+        workloads: vec![WorkloadEntry::core(AlgoKind::Mis)],
+        trials: 3,
+        nest: NestOrder::TopologyMajor,
+        seeds: SeedPolicy {
+            net_base,
+            run_base: net_base + 7,
+        },
+        stop: StopCondition::Default,
+        aggregate: None,
+    }
+}
+
+/// Records and units must match; wall-clock may differ.
+fn assert_same_results(a: &ScenarioRun, b: &ScenarioRun, what: &str) {
+    assert_eq!(a.units, b.units, "{what}: planned units differ");
+    assert_eq!(a.records, b.records, "{what}: records differ");
+}
+
+#[test]
+fn concurrent_labs_on_scoped_pools_match_their_serial_runs() {
+    let spec_a = lab_spec("LAB-A", 24, 300);
+    let spec_b = lab_spec("LAB-B", 32, 900);
+    // Serial ground truth: a one-thread pool is exactly the serial loop.
+    let serial_a = ThreadPool::new(1).install(|| run_spec(&spec_a));
+    let serial_b = ThreadPool::new(1).install(|| run_spec(&spec_b));
+
+    // Two labs at once, different pool widths, interleaved on the OS
+    // scheduler. Each must reproduce its serial run bit-for-bit.
+    let (par_a, par_b) = std::thread::scope(|s| {
+        let ha = s.spawn(|| ThreadPool::new(4).install(|| run_spec(&spec_a)));
+        let hb = s.spawn(|| ThreadPool::new(2).install(|| run_spec(&spec_b)));
+        (ha.join().expect("lab A"), hb.join().expect("lab B"))
+    });
+    assert_same_results(&serial_a, &par_a, "lab A");
+    assert_same_results(&serial_b, &par_b, "lab B");
+}
+
+#[test]
+fn pool_width_does_not_leak_between_runs() {
+    let spec = lab_spec("LAB-L", 16, 40);
+    let wide = ThreadPool::new(8).install(|| run_spec(&spec));
+    // After install returns, the ambient configuration is restored — the
+    // next run (no pool) must still match.
+    let ambient = run_spec(&spec);
+    assert_same_results(&wide, &ambient, "leak check");
+}
+
+#[test]
+fn run_trials_in_matches_run_trials_under_concurrency() {
+    let work = |t: u64| -> u64 {
+        // Enough computation per trial for threads to really interleave.
+        (0..2_000).fold(t, |acc, i| {
+            acc.wrapping_mul(6364136223846793005).wrapping_add(i)
+        })
+    };
+    let expect = run_trials(64, work);
+    std::thread::scope(|s| {
+        for width in [1usize, 3, 5] {
+            let expect = &expect;
+            s.spawn(move || {
+                let pool = ThreadPool::new(width);
+                assert_eq!(&run_trials_in(&pool, 64, work), expect, "width {width}");
+            });
+        }
+    });
+}

@@ -815,3 +815,61 @@ fn e10_matches_pre_refactor() {
 fn e11_matches_pre_refactor() {
     assert_tables_match("e11", vec![e11_large_tau(true)]);
 }
+
+/// The generic aggregation engine must be able to express E1's bespoke
+/// summary table **byte for byte**: take the registry E1 spec, swap its
+/// renderer for a declarative [`AggregateSpec`], and compare against the
+/// pre-refactor imperative output. Any drift in the group-by fold, the
+/// reduction formatting, the normalizer, or the slope caption fails here —
+/// the same tripwire the planner already has.
+#[test]
+fn aggregate_spec_reproduces_e1_byte_for_byte() {
+    use radio_bench::aggregate::{
+        AggregateSpec, GroupKey, MetricSource, MetricSpec, Normalizer, Reduction, SlopeAxis,
+        SlopeSpec,
+    };
+    use radio_bench::scenario::{registry, render, run_spec, RenderKind};
+
+    let mut spec = registry::specs("e1", true)
+        .expect("e1 registered")
+        .remove(0);
+    spec.render = RenderKind::Aggregate;
+    spec.aggregate = Some(AggregateSpec {
+        group_by: vec![GroupKey::N],
+        metrics: vec![
+            MetricSpec::labeled(MetricSource::MaxDegree, vec![Reduction::Max], "Delta"),
+            MetricSpec::new(MetricSource::SolveRound, vec![Reduction::Count]),
+            MetricSpec::new(MetricSource::Valid, vec![Reduction::Frac]),
+            MetricSpec::labeled(
+                MetricSource::SolveRound,
+                vec![Reduction::Mean],
+                "mean solve rounds",
+            ),
+            MetricSpec::labeled(
+                MetricSource::Extra {
+                    key: "budget".to_string(),
+                },
+                vec![Reduction::Max],
+                "budget",
+            ),
+            MetricSpec {
+                source: MetricSource::SolveRound,
+                reductions: vec![Reduction::Mean],
+                per: Some(Normalizer::Log3N),
+                label: Some("rounds/log^3 n".to_string()),
+            },
+        ],
+        slope: Some(SlopeSpec {
+            x: SlopeAxis::Log2N,
+            metric: 3,
+            caption: " [measured exponent of rounds in log n: {p}; paper bound: 3]".to_string(),
+        }),
+    });
+    let run = run_spec(&spec);
+    let aggregated = render(&spec, &run);
+    assert_eq!(
+        aggregated.render(),
+        e1_mis_scaling(true).render(),
+        "declarative aggregation drifted from the imperative E1 table"
+    );
+}

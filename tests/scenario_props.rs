@@ -4,6 +4,9 @@
 //! index-derived seeds.
 
 use proptest::prelude::*;
+use radio_bench::aggregate::{
+    AggregateSpec, GroupKey, MetricSource, MetricSpec, Normalizer, Reduction, SlopeAxis, SlopeSpec,
+};
 use radio_bench::scenario::{
     NestOrder, ScenarioSpec, SeedPolicy, StopCondition, TopologyEntry, Workload, WorkloadEntry,
 };
@@ -153,6 +156,31 @@ fn sample_spec(
             StopCondition::Default
         } else {
             StopCondition::Rounds { max: 100 + trials }
+        },
+        // Cycle the aggregate block through absent / simple / full so the
+        // new serde surface round-trips alongside the rest of the spec.
+        aggregate: match works % 3 {
+            0 => None,
+            1 => Some(AggregateSpec::default()),
+            _ => Some(AggregateSpec {
+                group_by: vec![GroupKey::N, GroupKey::Adversary],
+                metrics: vec![
+                    MetricSpec::labeled(MetricSource::MaxDegree, vec![Reduction::Max], "Delta"),
+                    MetricSpec {
+                        source: MetricSource::Extra {
+                            key: format!("k{net_base}"),
+                        },
+                        reductions: vec![Reduction::Mean, Reduction::P90, Reduction::Ci95],
+                        per: Some(Normalizer::Log3N),
+                        label: None,
+                    },
+                ],
+                slope: Some(SlopeSpec {
+                    x: SlopeAxis::Log2N,
+                    metric: 1,
+                    caption: " [p = {p}]".to_string(),
+                }),
+            }),
         },
     }
 }

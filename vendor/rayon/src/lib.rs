@@ -7,6 +7,7 @@
 //! by original index, so `collect` yields exactly the serial order: with
 //! per-item derived seeds, parallel runs are bit-identical to serial ones.
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 
 /// Commonly imported traits, mirroring `rayon::prelude`.
@@ -14,9 +15,20 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
 }
 
-/// Number of worker threads to use (`RAYON_NUM_THREADS` overrides the
-/// machine's available parallelism, matching upstream's env knob).
+thread_local! {
+    /// The ambient pool size installed by [`ThreadPool::install`] on the
+    /// current thread (`None` = no pool installed; fall back to the env
+    /// knob / machine parallelism).
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads to use: an installed [`ThreadPool`] wins, then
+/// `RAYON_NUM_THREADS` (upstream's env knob), then the machine's available
+/// parallelism.
 fn thread_count() -> usize {
+    if let Some(k) = INSTALLED_THREADS.get() {
+        return k.max(1);
+    }
     if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
         if let Ok(k) = v.parse::<usize>() {
             if k >= 1 {
@@ -27,6 +39,52 @@ fn thread_count() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// A scoped thread pool, mirroring `rayon::ThreadPool`.
+///
+/// This subset implements parallelism with `std::thread::scope` per
+/// fan-out rather than persistent workers, so the pool is a *capacity*:
+/// [`ThreadPool::install`] makes every parallel iterator on the calling
+/// thread use `num_threads` workers for the duration of the closure,
+/// without touching process-global state. Two pools on two threads
+/// coexist — the property the experiment harness needs so concurrent
+/// labs (and tests running labs in parallel) don't race on
+/// `RAYON_NUM_THREADS`.
+///
+/// Nested `install`s stack: the innermost pool wins, and the previous
+/// ambient size is restored on exit (also on panic).
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool of `num_threads` workers (clamped to at least 1).
+    pub fn new(num_threads: usize) -> Self {
+        ThreadPool {
+            num_threads: num_threads.max(1),
+        }
+    }
+
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool as the calling thread's ambient pool:
+    /// parallel iterators inside use `num_threads` workers. Restores the
+    /// previous ambient pool on exit, even if `op` panics.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.set(self.0);
+            }
+        }
+        let _restore = Restore(INSTALLED_THREADS.replace(Some(self.num_threads)));
+        op()
+    }
 }
 
 /// Maps `f` over `items` on up to [`thread_count`] scoped threads,
@@ -181,6 +239,55 @@ mod tests {
         let xs = vec![3u32, 1, 4, 1, 5];
         let out: Vec<u32> = xs.par_iter().map(|&x| x + 1).collect();
         assert_eq!(out, vec![4, 2, 5, 2, 6]);
+    }
+
+    #[test]
+    fn install_scopes_thread_count_and_restores() {
+        let pool = super::ThreadPool::new(3);
+        assert_eq!(pool.current_num_threads(), 3);
+        let before = super::thread_count();
+        pool.install(|| {
+            assert_eq!(super::thread_count(), 3);
+            // Nested installs stack; the innermost wins.
+            super::ThreadPool::new(1).install(|| {
+                assert_eq!(super::thread_count(), 1);
+            });
+            assert_eq!(super::thread_count(), 3);
+        });
+        assert_eq!(super::thread_count(), before);
+    }
+
+    #[test]
+    fn install_restores_on_panic() {
+        let before = super::thread_count();
+        let outcome = std::panic::catch_unwind(|| {
+            super::ThreadPool::new(2).install(|| panic!("boom"));
+        });
+        assert!(outcome.is_err());
+        assert_eq!(super::thread_count(), before);
+    }
+
+    #[test]
+    fn pools_on_separate_threads_are_independent() {
+        std::thread::scope(|s| {
+            for k in [1usize, 4] {
+                s.spawn(move || {
+                    super::ThreadPool::new(k).install(|| {
+                        assert_eq!(super::thread_count(), k);
+                        let out: Vec<u64> = (0u64..64).into_par_iter().map(|x| x * 3).collect();
+                        let expect: Vec<u64> = (0u64..64).map(|x| x * 3).collect();
+                        assert_eq!(out, expect);
+                    });
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn zero_thread_pool_clamps_to_one() {
+        super::ThreadPool::new(0).install(|| {
+            assert_eq!(super::thread_count(), 1);
+        });
     }
 
     #[test]
