@@ -21,9 +21,9 @@
 //! bit-identical between serial and parallel sweeps, like everything else
 //! downstream of [`crate::parallel::run_trials`].
 
-use crate::scenario::{ScenarioRun, ScenarioSpec};
+use crate::scenario::{ScenarioRun, ScenarioSpec, TrialUnit};
 use crate::stats::{loglog_exponent, StreamingSummary};
-use crate::table::{f1, f3, Table};
+use crate::table::{f1, f3, Table, ABSENT};
 use radio_structures::params::ceil_log2;
 use radio_structures::runner::RunRecord;
 use serde::{Deserialize, Serialize};
@@ -81,8 +81,11 @@ impl GroupKey {
 /// that record — the per-metric count reflects actual observations.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum MetricSource {
-    /// Round the run's goal was reached, falling back to the rounds
-    /// executed when it never was (the E1 "solve rounds" convention).
+    /// Round the run's goal was reached. Records that never reached it —
+    /// timed-out runs, failed builds — are **excluded** from the
+    /// reduction by default, so a cap never masquerades as a measurement;
+    /// [`MetricSpec::include_invalid`] opts back into the historical E1
+    /// convention of substituting the rounds executed (the budget).
     SolveRound,
     /// Rounds the engine executed.
     RoundsExecuted,
@@ -113,10 +116,16 @@ pub enum MetricSource {
 
 impl MetricSource {
     /// The metric's value for one record (`None` = record doesn't carry
-    /// this source).
-    fn value(&self, rec: &RunRecord) -> Option<f64> {
+    /// this source). `include_invalid` controls whether an unsolved
+    /// record contributes its round budget to [`MetricSource::SolveRound`]
+    /// (the pre-PR-4 behavior) or is skipped.
+    fn value(&self, rec: &RunRecord, include_invalid: bool) -> Option<f64> {
         match self {
-            MetricSource::SolveRound => Some(rec.solve_round.unwrap_or(rec.rounds_executed) as f64),
+            MetricSource::SolveRound => match rec.solve_round {
+                Some(r) => Some(r as f64),
+                None if include_invalid => Some(rec.rounds_executed as f64),
+                None => None,
+            },
             MetricSource::RoundsExecuted => Some(rec.rounds_executed as f64),
             MetricSource::ScheduleTotal => rec.schedule_total.map(|v| v as f64),
             MetricSource::Valid => Some(f64::from(rec.valid)),
@@ -240,6 +249,13 @@ pub struct MetricSpec {
     pub per: Option<Normalizer>,
     /// Optional column-label override.
     pub label: Option<String>,
+    /// Whether records without a real observation still contribute a
+    /// substitute value — today that is [`MetricSource::SolveRound`]
+    /// falling back to the round budget for unsolved runs. Default
+    /// (`None`/`Some(false)`): excluded, so timed-out and failed-build
+    /// records cannot drag a mean toward the cap. Absent in older spec
+    /// files — they parse unchanged.
+    pub include_invalid: Option<bool>,
 }
 
 impl MetricSpec {
@@ -250,6 +266,7 @@ impl MetricSpec {
             reductions,
             per: None,
             label: None,
+            include_invalid: None,
         }
     }
 
@@ -260,7 +277,13 @@ impl MetricSpec {
             reductions,
             per: None,
             label: Some(label.to_string()),
+            include_invalid: None,
         }
+    }
+
+    /// The effective invalid-record policy (absent = exclude).
+    fn include_invalid(&self) -> bool {
+        self.include_invalid.unwrap_or(false)
     }
 }
 
@@ -304,12 +327,21 @@ pub struct AggregateSpec {
 impl Default for AggregateSpec {
     /// The house style for user specs with no explicit aggregation: one
     /// row per grid cell (topology × adversary × workload) with trial
-    /// count, valid fraction, and solve-round statistics.
+    /// count, valid fraction, and solve-round statistics. The count
+    /// column opts into `include_invalid` so "trials" really counts every
+    /// record; the spread statistics keep the default exclusion, so
+    /// unsolved runs never drag them toward the round budget.
     fn default() -> Self {
         AggregateSpec {
             group_by: vec![GroupKey::Topology, GroupKey::Adversary, GroupKey::Workload],
             metrics: vec![
-                MetricSpec::new(MetricSource::SolveRound, vec![Reduction::Count]),
+                MetricSpec {
+                    source: MetricSource::SolveRound,
+                    reductions: vec![Reduction::Count],
+                    per: None,
+                    label: None,
+                    include_invalid: Some(true),
+                },
                 MetricSpec::new(MetricSource::Valid, vec![Reduction::Frac]),
                 MetricSpec::new(
                     MetricSource::SolveRound,
@@ -336,68 +368,112 @@ struct Group {
     accs: Vec<StreamingSummary>,
 }
 
-/// Folds the run's records into the grouped table. Groups appear in
-/// first-encounter order, which is the planner's unit order — so the row
-/// order is deterministic and serial/parallel identical.
-pub fn render_aggregate(spec: &ScenarioSpec, run: &ScenarioRun, agg: &AggregateSpec) -> Table {
-    let mut groups: Vec<Group> = Vec::new();
-    for (unit, recs) in run.units.iter().zip(&run.records) {
-        for rec in recs {
-            let key: Vec<String> = agg
-                .group_by
-                .iter()
-                .map(|k| k.value(spec, unit.topo, unit.adv, unit.work, rec))
-                .collect();
-            let group = match groups.iter_mut().find(|g| g.key == key) {
-                Some(g) => g,
-                None => {
-                    groups.push(Group {
-                        key,
-                        n_max: 0,
-                        accs: vec![StreamingSummary::new(); agg.metrics.len()],
-                    });
-                    groups.last_mut().expect("just pushed")
-                }
-            };
-            group.n_max = group.n_max.max(rec.n);
-            for (metric, acc) in agg.metrics.iter().zip(&mut group.accs) {
-                if let Some(v) = metric.source.value(rec) {
-                    acc.push(v);
-                }
+/// The incremental group-by fold behind [`render_aggregate`]: records push
+/// in one at a time (in unit order) and the grouped table renders at any
+/// point. Memory is O(groups), not O(records) — the accumulators are the
+/// bounded [`StreamingSummary`]s — which is what lets the streaming sink
+/// ([`crate::sink::StreamAggregate`]) aggregate a grid that never
+/// materializes.
+///
+/// Feeding the same records in the same order as the materialized fold
+/// produces a **byte-identical** table: both paths are this exact state
+/// machine (the golden streaming test pins it).
+pub struct AggregateState {
+    agg: AggregateSpec,
+    groups: Vec<Group>,
+    /// Group index by rendered key — O(1) lookup per record, so folding a
+    /// grid of millions of records over thousands of groups stays linear.
+    /// The `groups` vector still owns first-encounter (row) order.
+    by_key: std::collections::HashMap<Vec<String>, usize>,
+}
+
+impl AggregateState {
+    /// An empty fold for `agg`.
+    pub fn new(agg: AggregateSpec) -> Self {
+        AggregateState {
+            agg,
+            groups: Vec::new(),
+            by_key: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Folds one record in. Groups appear in first-encounter order, which
+    /// is the planner's unit order — so the row order is deterministic and
+    /// serial/parallel identical.
+    pub fn push(&mut self, spec: &ScenarioSpec, unit: &TrialUnit, rec: &RunRecord) {
+        let key: Vec<String> = self
+            .agg
+            .group_by
+            .iter()
+            .map(|k| k.value(spec, unit.topo, unit.adv, unit.work, rec))
+            .collect();
+        let group = match self.by_key.get(&key) {
+            Some(&i) => &mut self.groups[i],
+            None => {
+                self.by_key.insert(key.clone(), self.groups.len());
+                self.groups.push(Group {
+                    key,
+                    n_max: 0,
+                    accs: vec![StreamingSummary::new(); self.agg.metrics.len()],
+                });
+                self.groups.last_mut().expect("just pushed")
+            }
+        };
+        group.n_max = group.n_max.max(rec.n);
+        for (metric, acc) in self.agg.metrics.iter().zip(&mut group.accs) {
+            if let Some(v) = metric.source.value(rec, metric.include_invalid()) {
+                acc.push(v);
             }
         }
     }
 
-    let mut header: Vec<String> = agg
-        .group_by
-        .iter()
-        .map(|k| k.header().to_string())
-        .collect();
-    for metric in &agg.metrics {
-        for &red in &metric.reductions {
-            header.push(column_label(metric, red));
-        }
-    }
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut table = Table::new(&spec.id, &spec.caption, &header_refs);
-    for group in &groups {
-        let mut row = group.key.clone();
-        for (metric, acc) in agg.metrics.iter().zip(&group.accs) {
-            let div = metric.per.map_or(1.0, |p| p.divisor(group.n_max.max(1)));
+    /// Renders the fold's current state as the grouped table.
+    pub fn table(&self, spec: &ScenarioSpec) -> Table {
+        let agg = &self.agg;
+        let mut header: Vec<String> = agg
+            .group_by
+            .iter()
+            .map(|k| k.header().to_string())
+            .collect();
+        for metric in &agg.metrics {
             for &red in &metric.reductions {
-                row.push(cell(red, acc, div, metric.per.is_some()));
+                header.push(column_label(metric, red));
             }
         }
-        table.push(row);
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = Table::new(&spec.id, &spec.caption, &header_refs);
+        for group in &self.groups {
+            let mut row = group.key.clone();
+            for (metric, acc) in agg.metrics.iter().zip(&group.accs) {
+                let div = metric.per.map_or(1.0, |p| p.divisor(group.n_max.max(1)));
+                for &red in &metric.reductions {
+                    row.push(cell(red, acc, div, metric.per.is_some()));
+                }
+            }
+            table.push(row);
+        }
+        if let Some(slope) = &agg.slope {
+            if let Some(fit) = slope_exponent(slope, &self.groups) {
+                table
+                    .caption
+                    .push_str(&slope.caption.replace("{p}", &format!("{fit:.2}")));
+            }
+        }
+        table
     }
-    if let Some(slope) = &agg.slope {
-        if let Some(fit) = slope_exponent(slope, &groups) {
-            table
-                .caption
-                .push_str(&slope.caption.replace("{p}", &format!("{fit:.2}")));
+}
+
+/// Folds the run's records into the grouped table — the materialized
+/// wrapper over [`AggregateState`] (one `push` per record in unit order,
+/// then render).
+pub fn render_aggregate(spec: &ScenarioSpec, run: &ScenarioRun, agg: &AggregateSpec) -> Table {
+    let mut state = AggregateState::new(agg.clone());
+    for (unit, recs) in run.units.iter().zip(&run.records) {
+        for rec in recs {
+            state.push(spec, unit, rec);
         }
     }
-    table
+    state.table(spec)
 }
 
 /// The fitted log-log exponent across groups, or `None` when the fit is
@@ -439,7 +515,10 @@ fn column_label(metric: &MetricSpec, red: Reduction) -> String {
 
 /// One reduced cell. Unnormalized values print with 1 decimal (integral
 /// min/max as integers); normalized values with 3, matching the bespoke
-/// renderers' ratio columns.
+/// renderers' ratio columns. Spread statistics (stddev, 95% CI) need at
+/// least two observations — below that they render as [`ABSENT`] (and the
+/// CSV export omits the field) instead of leaking a NaN or presenting a
+/// single sample as a spread.
 fn cell(red: Reduction, acc: &StreamingSummary, div: f64, normalized: bool) -> String {
     let fmt = |v: f64| if normalized { f3(v) } else { f1(v) };
     let int_or = |v: f64| {
@@ -452,7 +531,13 @@ fn cell(red: Reduction, acc: &StreamingSummary, div: f64, normalized: bool) -> S
     match red {
         Reduction::Count => acc.count().to_string(),
         Reduction::Mean => fmt(acc.mean() / div),
-        Reduction::Stddev => fmt(acc.stddev() / div),
+        Reduction::Stddev => {
+            if acc.count() < 2 {
+                ABSENT.to_string()
+            } else {
+                fmt(acc.stddev() / div)
+            }
+        }
         Reduction::Min => int_or(acc.min() / div),
         Reduction::Max => int_or(acc.max() / div),
         Reduction::Median => fmt(acc.median() / div),
@@ -460,7 +545,7 @@ fn cell(red: Reduction, acc: &StreamingSummary, div: f64, normalized: bool) -> S
         Reduction::P99 => fmt(acc.p99() / div),
         Reduction::Ci95 => {
             if acc.count() < 2 {
-                fmt(acc.mean() / div)
+                ABSENT.to_string()
             } else {
                 format!("{} ± {}", fmt(acc.mean() / div), fmt(acc.ci95_half() / div))
             }
@@ -539,6 +624,7 @@ mod tests {
                     reductions: vec![Reduction::Mean],
                     per: Some(Normalizer::Log3N),
                     label: None,
+                    include_invalid: None,
                 },
             ],
             slope: Some(SlopeSpec {
@@ -583,6 +669,7 @@ mod tests {
                     reductions: vec![Reduction::Mean, Reduction::P90, Reduction::Ci95],
                     per: Some(Normalizer::Log3N),
                     label: None,
+                    include_invalid: Some(true),
                 },
             ],
             slope: Some(SlopeSpec {
@@ -605,6 +692,139 @@ mod tests {
             acc.push(f64::from(u8::from(i == 5)));
         }
         assert_eq!(cell(Reduction::Frac, &acc, 1.0, false), "1/10");
+    }
+
+    /// A synthetic run: one unit per record, records supplied directly.
+    fn synthetic_run(
+        _spec: &ScenarioSpec,
+        records: Vec<RunRecord>,
+    ) -> crate::scenario::ScenarioRun {
+        crate::scenario::ScenarioRun {
+            units: records
+                .iter()
+                .enumerate()
+                .map(|(i, _)| crate::scenario::TrialUnit {
+                    topo: 0,
+                    adv: 0,
+                    work: 0,
+                    trial: i as u64,
+                    net_seed: i as u64,
+                    run_seed: i as u64,
+                    det_seed: None,
+                })
+                .collect(),
+            records: records.into_iter().map(|r| vec![r]).collect(),
+            wall_s: 0.0,
+        }
+    }
+
+    fn solve_record(n: usize, solve_round: Option<u64>, rounds_executed: u64) -> RunRecord {
+        let mut rec = RunRecord::blank("mis", n, 3);
+        rec.valid = solve_round.is_some();
+        rec.solve_round = solve_round;
+        rec.rounds_executed = rounds_executed;
+        rec
+    }
+
+    #[test]
+    fn unsolved_records_are_excluded_from_solve_round_by_default() {
+        // Two solved runs (10, 20 rounds) and one that timed out at the
+        // 100-round cap: the pre-fix fold substituted the cap, dragging
+        // the mean from 15.0 to 43.3.
+        let spec = mis_spec(3);
+        let run = synthetic_run(
+            &spec,
+            vec![
+                solve_record(6, Some(10), 10),
+                solve_record(6, Some(20), 20),
+                solve_record(6, None, 100),
+            ],
+        );
+        let agg = AggregateSpec {
+            group_by: vec![],
+            metrics: vec![MetricSpec::new(
+                MetricSource::SolveRound,
+                vec![Reduction::Count, Reduction::Mean],
+            )],
+            slope: None,
+        };
+        let table = render_aggregate(&spec, &run, &agg);
+        assert_eq!(table.rows[0][0], "2", "the timed-out record is excluded");
+        assert_eq!(table.rows[0][1], "15.0", "mean over real solves only");
+
+        // The explicit opt-in restores the historical budget-substitution.
+        let mut legacy = agg.clone();
+        legacy.metrics[0].include_invalid = Some(true);
+        let table = render_aggregate(&spec, &run, &legacy);
+        assert_eq!(table.rows[0][0], "3");
+        assert_eq!(table.rows[0][1], "43.3");
+    }
+
+    #[test]
+    fn cap_forced_unsolved_runs_do_not_report_the_budget_as_a_mean() {
+        // End-to-end: a 1-round cap no MIS run can meet. The pre-fix
+        // default rendered "1.0" — the cap, not a measurement.
+        let mut spec = mis_spec(2);
+        spec.stop = crate::scenario::StopCondition::Rounds { max: 1 };
+        spec.aggregate = Some(AggregateSpec {
+            group_by: vec![GroupKey::Topology],
+            metrics: vec![MetricSpec::new(
+                MetricSource::SolveRound,
+                vec![Reduction::Count, Reduction::Mean],
+            )],
+            slope: None,
+        });
+        let run = run_spec(&spec);
+        assert!(
+            run.records.iter().flatten().all(|r| !r.solved()),
+            "the 1-round cap must leave every run unsolved"
+        );
+        let table = crate::scenario::render(&spec, &run);
+        for row in &table.rows {
+            assert_eq!(row[1], "0", "no solve-round observations");
+            assert_eq!(row[2], ABSENT, "no mean, rather than the cap");
+        }
+        // Opting in reports the budget explicitly.
+        spec.aggregate.as_mut().expect("set above").metrics[0].include_invalid = Some(true);
+        let table = crate::scenario::render(&spec, &run);
+        for row in &table.rows {
+            assert_eq!(row[1], "4", "2 adversaries × 2 trials");
+            assert_eq!(row[2], "1.0", "the cap, now labeled by opt-in");
+        }
+    }
+
+    #[test]
+    fn single_observation_groups_dash_spread_cells() {
+        // One record per group: stddev and the 95% CI need two
+        // observations, so both cells must be absent — not NaN, not a
+        // single sample presented as a spread.
+        let spec = mis_spec(1);
+        let run = synthetic_run(&spec, vec![solve_record(6, Some(12), 12)]);
+        let agg = AggregateSpec {
+            group_by: vec![],
+            metrics: vec![MetricSpec::new(
+                MetricSource::SolveRound,
+                vec![Reduction::Mean, Reduction::Stddev, Reduction::Ci95],
+            )],
+            slope: None,
+        };
+        let table = render_aggregate(&spec, &run, &agg);
+        assert_eq!(table.rows[0], vec!["12.0", ABSENT, ABSENT]);
+        // The CSV omits the absent cells entirely (empty fields), so
+        // spreadsheets see missing values instead of dash strings.
+        assert_eq!(
+            table.to_csv(),
+            "mean solve rounds,sd solve rounds,solve rounds (mean ± 95% CI)\n12.0,,\n"
+        );
+        // Two observations bring both statistics back.
+        let run = synthetic_run(
+            &spec,
+            vec![solve_record(6, Some(10), 10), solve_record(6, Some(14), 14)],
+        );
+        let table = render_aggregate(&spec, &run, &agg);
+        assert_eq!(table.rows[0][0], "12.0");
+        assert_ne!(table.rows[0][1], ABSENT);
+        assert!(table.rows[0][2].contains(" ± "));
     }
 
     #[test]

@@ -10,13 +10,16 @@
 //! radio-lab spec.json --threads 4       # scoped pool for this run only
 //! radio-lab spec.json --out results.json
 //! radio-lab spec.json --csv results.csv # aggregated/raw tables as CSV
+//! radio-lab spec.json --stream --chunk 512 \
+//!   --records records.jsonl --no-records  # bounded-memory sweep
 //! ```
 //!
 //! Positional arguments naming registry ids (`e1`..`e11`) expand to the
 //! built-in specs; anything else is read as a JSON [`ScenarioSpec`] file.
 //! Tables print to stdout; the results file records, per scenario, the
-//! spec, the rendered tables, the planned units, every `RunRecord`, and
-//! the sweep's wall-clock seconds.
+//! spec, the rendered tables, the unit/record counts, the sweep's
+//! wall-clock seconds, and (unless `--no-records` or `--stream`) the full
+//! `ScenarioRun` with every `RunRecord`.
 //!
 //! `--threads N` installs a **scoped** [`ThreadPool`] for this run instead
 //! of mutating `RAYON_NUM_THREADS`, so concurrent labs in one process (or
@@ -24,17 +27,42 @@
 //! `"render": "Aggregate"` (or an `"aggregate"` group-by block) prints a
 //! grouped summary table — mean, CI, percentiles — instead of one raw row
 //! per record; `--csv` writes whatever tables render as CSV.
+//!
+//! `--stream` switches execution to the bounded-memory pipeline
+//! ([`radio_bench::scenario::run_spec_streaming`]): the grid runs in
+//! index-ordered chunks of `--chunk` units (default 256) and every
+//! completed unit's records flow to sinks instead of accumulating — an
+//! aggregation sink for the table (byte-identical to the materialized
+//! fold) and, with `--records PATH.jsonl`, a JSONL writer logging one
+//! record per line in unit order. Streamed results JSON never embeds
+//! records (counts and wall-clock replace them); specs that don't render
+//! through the aggregate fold already — bespoke `E*` layouts, or
+//! `Generic` without an `aggregate` block — fall back to the default
+//! aggregate grouping under `--stream` with a stderr notice (their
+//! layouts need the materialized records).
 
-use radio_bench::scenario::{registry, render, run_spec, ScenarioRun, ScenarioSpec};
+use radio_bench::scenario::{
+    registry, render, run_spec, run_spec_streaming, RenderKind, ScenarioRun, ScenarioSpec,
+};
+use radio_bench::sink::{JsonlWriter, RecordSink, StreamAggregate};
 use radio_bench::{Table, ThreadPool};
 use serde::Serialize;
+use std::io::BufWriter;
 
 /// One executed scenario in the results file.
 #[derive(Serialize)]
 struct LabScenario {
     spec: ScenarioSpec,
     tables: Vec<Table>,
-    run: ScenarioRun,
+    /// Units executed (= the spec's grid product).
+    units: u64,
+    /// Records produced across all units.
+    records: u64,
+    /// Wall-clock seconds for the sweep.
+    wall_s: f64,
+    /// The full materialized run (planned units + every record); absent
+    /// under `--stream` / `--no-records`, where counts stand in.
+    run: Option<ScenarioRun>,
 }
 
 /// The whole results document.
@@ -42,12 +70,14 @@ struct LabScenario {
 struct LabReport {
     schema: String,
     quick: bool,
+    streamed: bool,
     wall_s_total: f64,
     scenarios: Vec<LabScenario>,
 }
 
 const USAGE: &str = "usage: radio-lab [SPEC.json | e1..e11 | --all] [--quick|--full] \
-[--threads N] [--out PATH] [--csv PATH] [--json]\n\
+[--threads N] [--out PATH] [--csv PATH] [--json] \
+[--stream] [--chunk N] [--records PATH.jsonl] [--no-records]\n\
 \n\
 SPEC.json is a ScenarioSpec; give it \"render\": \"Aggregate\" (or an\n\
 \"aggregate\" block with group_by keys and metric reductions) for a\n\
@@ -55,11 +85,61 @@ grouped mean/CI/percentile summary instead of one row per record —\n\
 see examples/aggregate_mis.json for the end-to-end shape.\n\
 --threads N uses a scoped pool for this run only (no global state);\n\
 --csv writes each rendered table as CSV (a single table lands at PATH;\n\
-several get the table id spliced in before the extension).";
+several get the table id spliced in before the extension, and\n\
+colliding targets — duplicate table ids — are uniquified with a\n\
+numeric suffix and a warning instead of clobbering each other).\n\
+--stream executes the grid in index-ordered chunks of --chunk units\n\
+(default 256), folding records into the aggregate table as they\n\
+arrive: peak memory is O(chunk), not O(grid), and the table is\n\
+byte-identical to the materialized run. --records PATH.jsonl streams\n\
+every RunRecord as one JSON line (unit order) while the sweep runs;\n\
+--no-records keeps the per-record dump out of the results JSON (unit\n\
+and record counts plus wall-clock are always recorded). Specs that\n\
+don't render through the aggregate fold — bespoke E* layouts, or\n\
+Generic without an aggregate block — print the default aggregate\n\
+summary under --stream (a notice says so).";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
     std::process::exit(2);
+}
+
+/// Resolves each table id to its CSV path: a single table lands exactly at
+/// `path`; several get the id spliced in before the extension. Targets
+/// that would collide — the same table id twice (`radio-lab e1 e1`), or
+/// two user specs sharing an id — are uniquified with a numeric suffix so
+/// no table silently clobbers another; the returned flags mark which
+/// targets were renamed (the caller warns).
+fn csv_targets(path: &str, ids: &[String]) -> Vec<(String, bool)> {
+    let mut used: Vec<String> = Vec::new();
+    let mut out = Vec::with_capacity(ids.len());
+    for id in ids {
+        let natural = if ids.len() == 1 {
+            path.to_string()
+        } else {
+            spliced(path, id)
+        };
+        let mut target = natural.clone();
+        let mut k = 2u32;
+        while used.contains(&target) {
+            target = spliced(path, &format!("{id}_{k}"));
+            k += 1;
+        }
+        let renamed = target != natural;
+        used.push(target.clone());
+        out.push((target, renamed));
+    }
+    out
+}
+
+/// `path` with `id` spliced in before the extension.
+fn spliced(path: &str, id: &str) -> String {
+    let p = std::path::Path::new(path);
+    let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("tables");
+    let ext = p.extension().and_then(|s| s.to_str()).unwrap_or("csv");
+    p.with_file_name(format!("{stem}_{id}.{ext}"))
+        .to_string_lossy()
+        .into_owned()
 }
 
 fn main() {
@@ -71,6 +151,8 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let json_tables = args.iter().any(|a| a == "--json");
     let all = args.iter().any(|a| a == "--all");
+    let stream = args.iter().any(|a| a == "--stream");
+    let no_records = args.iter().any(|a| a == "--no-records");
     // A value-taking flag's argument must exist and not itself be a flag —
     // `--csv --json` silently writing a file named "--json" is worse than
     // exiting.
@@ -88,6 +170,18 @@ fn main() {
         .unwrap_or("LAB_results.json")
         .to_string();
     let csv_path = flag_value("--csv").map(str::to_string);
+    let records_path = flag_value("--records").map(str::to_string);
+    let chunk = flag_value("--chunk").map_or(256u64, |v| match v.parse::<u64>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("--chunk requires a positive integer, got {v}");
+            usage();
+        }
+    });
+    if !stream && (records_path.is_some() || args.iter().any(|a| a == "--chunk")) {
+        eprintln!("--records/--chunk only apply to --stream runs");
+        usage();
+    }
     // A scoped pool for this run: nothing process-global changes, so
     // concurrent labs (or a test harness running labs in parallel) each
     // keep their own width.
@@ -105,12 +199,18 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--out" || a == "--threads" || a == "--csv" {
+        if matches!(
+            a.as_str(),
+            "--out" | "--threads" | "--csv" | "--records" | "--chunk"
+        ) {
             skip_next = true;
             continue;
         }
         if a.starts_with("--") {
-            if !matches!(a.as_str(), "--quick" | "--full" | "--json" | "--all") {
+            if !matches!(
+                a.as_str(),
+                "--quick" | "--full" | "--json" | "--all" | "--stream" | "--no-records"
+            ) {
                 eprintln!("unknown flag {a}");
                 usage();
             }
@@ -149,25 +249,89 @@ fn main() {
         }
     }
 
+    // One JSONL log across every scenario of the run, written as records
+    // arrive (unit order within each scenario, scenarios in CLI order).
+    let mut jsonl = records_path.as_ref().map(|path| {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        });
+        JsonlWriter::new(BufWriter::new(file))
+    });
+
     let mut report = LabReport {
-        schema: "radio-lab/v1".to_string(),
+        schema: "radio-lab/v2".to_string(),
         quick,
+        streamed: stream,
         wall_s_total: 0.0,
         scenarios: Vec::new(),
     };
     let mut csv_tables: Vec<(String, String)> = Vec::new();
     for spec in specs {
         eprintln!(
-            "running {} ({} units{})...",
+            "running {} ({} units{}{})...",
             spec.id,
             spec.grid_size(),
-            if quick { ", quick" } else { "" }
+            if quick { ", quick" } else { "" },
+            if stream {
+                format!(", streaming in chunks of {chunk}")
+            } else {
+                String::new()
+            }
         );
-        let run = match &pool {
-            Some(p) => p.install(|| run_spec(&spec)),
-            None => run_spec(&spec),
+        let (table, units, records, wall_s, run) = if stream {
+            // The streamed table only matches the non-streamed one when the
+            // spec renders through the aggregate fold already: Aggregate,
+            // or Generic with an explicit block. Everything else — bespoke
+            // E* layouts *and* raw Generic (one row per record) — falls
+            // back to the default aggregate grouping, so say so.
+            let streams_natively = matches!(spec.render, RenderKind::Aggregate)
+                || (matches!(spec.render, RenderKind::Generic) && spec.aggregate.is_some());
+            if !streams_natively {
+                // The sink still honors an explicit aggregate block even
+                // when the render kind is bespoke — say which grouping
+                // actually renders.
+                eprintln!(
+                    "{}: --stream renders the {} instead of the {:?} layout (it needs \
+                     materialized records)",
+                    spec.id,
+                    if spec.aggregate.is_some() {
+                        "spec's aggregate block"
+                    } else {
+                        "default aggregate summary"
+                    },
+                    spec.render
+                );
+            }
+            let mut agg = StreamAggregate::for_spec(&spec);
+            let stats = {
+                let mut sinks: Vec<&mut dyn RecordSink> = vec![&mut agg];
+                if let Some(w) = jsonl.as_mut() {
+                    sinks.push(w);
+                }
+                let result = match &pool {
+                    Some(p) => p.install(|| run_spec_streaming(&spec, chunk, &mut sinks)),
+                    None => run_spec_streaming(&spec, chunk, &mut sinks),
+                };
+                result.unwrap_or_else(|e| {
+                    eprintln!("{}: streaming sink error: {e}", spec.id);
+                    std::process::exit(1);
+                })
+            };
+            let table = agg.table(&spec);
+            (table, stats.units, stats.records, stats.wall_s, None)
+        } else {
+            let run = match &pool {
+                Some(p) => p.install(|| run_spec(&spec)),
+                None => run_spec(&spec),
+            };
+            let table = render(&spec, &run);
+            let units = run.units.len() as u64;
+            let records = run.records.iter().map(|r| r.len() as u64).sum();
+            let wall_s = run.wall_s;
+            let kept = (!no_records).then_some(run);
+            (table, units, records, wall_s, kept)
         };
-        let table = render(&spec, &run);
         if csv_path.is_some() {
             csv_tables.push((table.id.clone(), table.to_csv()));
         }
@@ -179,13 +343,26 @@ fn main() {
         } else {
             println!("{}", table.render());
         }
-        eprintln!("{}: {:.3}s", spec.id, run.wall_s);
-        report.wall_s_total += run.wall_s;
+        eprintln!("{}: {:.3}s", spec.id, wall_s);
+        report.wall_s_total += wall_s;
         report.scenarios.push(LabScenario {
             spec,
             tables: vec![table],
+            units,
+            records,
+            wall_s,
             run,
         });
+    }
+    if let Some(w) = jsonl {
+        w.finish().unwrap_or_else(|e| {
+            eprintln!(
+                "cannot flush {}: {e}",
+                records_path.as_deref().unwrap_or("records")
+            );
+            std::process::exit(1);
+        });
+        eprintln!("wrote {}", records_path.as_deref().unwrap_or("records"));
     }
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, json).unwrap_or_else(|e| {
@@ -196,19 +373,17 @@ fn main() {
         // One table → exactly the requested path; several tables get the
         // table id spliced in before the extension (one well-formed CSV
         // per file — concatenating tables with different headers would
-        // parse as a ragged mess).
-        for (id, csv) in &csv_tables {
-            let target = if csv_tables.len() == 1 {
-                path.clone()
-            } else {
-                let p = std::path::Path::new(path);
-                let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("tables");
-                let ext = p.extension().and_then(|s| s.to_str()).unwrap_or("csv");
-                p.with_file_name(format!("{stem}_{id}.{ext}"))
-                    .to_string_lossy()
-                    .into_owned()
-            };
-            std::fs::write(&target, csv).unwrap_or_else(|e| {
+        // parse as a ragged mess). Duplicate ids uniquify instead of
+        // clobbering.
+        let ids: Vec<String> = csv_tables.iter().map(|(id, _)| id.clone()).collect();
+        for ((target, renamed), (id, csv)) in csv_targets(path, &ids).iter().zip(&csv_tables) {
+            if *renamed {
+                eprintln!(
+                    "warning: CSV target for table {id} collides with an earlier table; \
+                     writing {target} instead"
+                );
+            }
+            std::fs::write(target, csv).unwrap_or_else(|e| {
                 eprintln!("cannot write {target}: {e}");
                 std::process::exit(1);
             });
@@ -220,4 +395,60 @@ fn main() {
         report.scenarios.len(),
         report.wall_s_total
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn single_table_uses_the_requested_path() {
+        assert_eq!(
+            csv_targets("out/results.csv", &ids(&["E1"])),
+            vec![("out/results.csv".to_string(), false)]
+        );
+    }
+
+    #[test]
+    fn several_tables_splice_ids_before_the_extension() {
+        assert_eq!(
+            csv_targets("results.csv", &ids(&["E1", "E5a"])),
+            vec![
+                ("results_E1.csv".to_string(), false),
+                ("results_E5a.csv".to_string(), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_ids_uniquify_instead_of_clobbering() {
+        // `radio-lab e1 e1 --csv out.csv` — the second E1 must not
+        // overwrite the first.
+        assert_eq!(
+            csv_targets("out.csv", &ids(&["E1", "E1", "E1"])),
+            vec![
+                ("out_E1.csv".to_string(), false),
+                ("out_E1_2.csv".to_string(), true),
+                ("out_E1_3.csv".to_string(), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn uniquified_names_dodge_natural_names_too() {
+        // A pathological id that matches another table's uniquified name:
+        // the suffix search must keep probing.
+        assert_eq!(
+            csv_targets("t.csv", &ids(&["E1", "E1", "E1_2"])),
+            vec![
+                ("t_E1.csv".to_string(), false),
+                ("t_E1_2.csv".to_string(), true),
+                ("t_E1_2_2.csv".to_string(), true),
+            ]
+        );
+    }
 }

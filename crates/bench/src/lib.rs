@@ -18,11 +18,13 @@ pub mod enginebench;
 pub mod experiments;
 pub mod parallel;
 pub mod scenario;
+pub mod sink;
 pub mod stats;
 pub mod table;
 
 pub use aggregate::AggregateSpec;
 pub use experiments::{run_experiment, ALL_EXPERIMENTS};
-pub use parallel::{run_trials, run_trials_in, ThreadPool};
-pub use scenario::{render, run_spec, ScenarioRun, ScenarioSpec};
+pub use parallel::{run_trials, run_trials_chunked, run_trials_in, ThreadPool};
+pub use scenario::{render, run_spec, run_spec_streaming, ScenarioRun, ScenarioSpec, StreamStats};
+pub use sink::{JsonlWriter, Materialize, RecordSink, StreamAggregate};
 pub use table::Table;

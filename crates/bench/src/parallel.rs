@@ -59,6 +59,58 @@ where
     pool.install(|| run_trials(trials, f))
 }
 
+/// [`run_trials`] in index-ordered chunks: executes `[0, trials)` as
+/// consecutive windows of at most `chunk` indices, running each window in
+/// parallel and handing its results — still in index order — to `consume`
+/// before the next window starts. Peak memory is **O(chunk)**, not
+/// O(trials), while the concatenation of all windows is bit-identical to
+/// `run_trials(trials, f)` (and therefore to the serial loop): the same
+/// `f(i)` runs for the same `i`, only the collection is windowed.
+///
+/// `consume` receives `(start_index, results)` per window and may fail
+/// (e.g. an I/O sink); the first error stops the sweep and is returned.
+/// Windows are never reordered, so a consumer that folds in arrival order
+/// observes exactly the serial record stream.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use radio_bench::parallel::{run_trials, run_trials_chunked};
+/// let mut streamed = Vec::new();
+/// run_trials_chunked(10, 3, |t| t * t, |start, results| {
+///     assert_eq!(start, streamed.len() as u64);
+///     streamed.extend(results);
+///     Ok::<(), std::convert::Infallible>(())
+/// })
+/// .unwrap();
+/// assert_eq!(streamed, run_trials(10, |t| t * t));
+/// ```
+pub fn run_trials_chunked<R, E, F, S>(
+    trials: u64,
+    chunk: u64,
+    f: F,
+    mut consume: S,
+) -> Result<(), E>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+    S: FnMut(u64, Vec<R>) -> Result<(), E>,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let mut start = 0u64;
+    while start < trials {
+        let end = trials.min(start.saturating_add(chunk));
+        let results: Vec<R> = (start..end).into_par_iter().map(&f).collect();
+        consume(start, results)?;
+        start = end;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +127,56 @@ mod tests {
     #[test]
     fn zero_trials_is_empty() {
         assert!(run_trials(0, |t| t).is_empty());
+    }
+
+    #[test]
+    fn chunked_concatenation_matches_unchunked_every_chunk_size() {
+        let expect = run_trials(23, |t| t.wrapping_mul(0x9e37_79b9).rotate_left(7));
+        for chunk in [1u64, 2, 3, 7, 22, 23, 24, 1000] {
+            let mut got = Vec::new();
+            let mut starts = Vec::new();
+            run_trials_chunked(
+                23,
+                chunk,
+                |t| t.wrapping_mul(0x9e37_79b9).rotate_left(7),
+                |start, results| {
+                    starts.push(start);
+                    got.extend(results);
+                    Ok::<(), std::convert::Infallible>(())
+                },
+            )
+            .unwrap();
+            assert_eq!(got, expect, "chunk = {chunk}");
+            // Windows arrive in index order, each starting where the
+            // previous ended.
+            assert_eq!(starts, (0..23).step_by(chunk as usize).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn chunked_consumer_error_stops_the_sweep() {
+        let mut seen = 0u64;
+        let err = run_trials_chunked(
+            100,
+            10,
+            |t| t,
+            |start, _| {
+                seen = start;
+                if start >= 20 {
+                    Err("enough")
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert_eq!(err, Err("enough"));
+        assert_eq!(seen, 20, "the failing window is the last one consumed");
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn chunked_rejects_zero_chunk() {
+        let _ = run_trials_chunked(4, 0, |t| t, |_, _| Ok::<(), ()>(()));
     }
 
     #[test]

@@ -13,6 +13,18 @@
 //! scenario is a ~10-line data value (or a JSON file fed to the
 //! `radio-lab` binary), not a new module.
 //!
+//! Two execution modes share one planner:
+//!
+//! * [`run_spec`] materializes everything — all units, all records — and
+//!   hands the [`ScenarioRun`] to [`render`]. Memory is O(grid).
+//! * [`run_spec_streaming`] decodes units on the fly
+//!   ([`ScenarioSpec::unit_at`]), executes the grid in index-ordered
+//!   chunks, and pushes each unit's records to [`crate::sink`]
+//!   implementations, retaining nothing. Memory is O(chunk + sink
+//!   state); the record stream the sinks observe is exactly the
+//!   materialized order, so a [`crate::sink::StreamAggregate`] table is
+//!   byte-identical to the materialized fold.
+//!
 //! # Invariants
 //!
 //! * **Grid expansion order** is the nesting order's nested loop:
@@ -302,50 +314,62 @@ impl ScenarioSpec {
             * usize::try_from(self.trials).unwrap_or(usize::MAX)
     }
 
-    /// Expands the grid into trial units in nesting order, deriving every
-    /// unit's seeds from its indices (see the module docs).
-    pub fn plan(&self) -> Vec<TrialUnit> {
-        let mut units = Vec::with_capacity(self.grid_size());
-        let mut push_cell = |ti: usize, ai: usize, wi: usize| {
-            let work = &self.workloads[wi];
-            let net_base = work
-                .net_seed
-                .or(self.topologies[ti].seed)
-                .unwrap_or(self.seeds.net_base);
-            let run_base = work.run_seed.unwrap_or(self.seeds.run_base);
-            for trial in 0..self.trials {
-                units.push(TrialUnit {
-                    topo: ti,
-                    adv: ai,
-                    work: wi,
-                    trial,
-                    net_seed: net_base + trial,
-                    run_seed: run_base + trial,
-                    det_seed: work.det_seed,
-                });
-            }
-        };
-        match self.nest {
+    /// The planned unit at grid `index` — `plan()[index]` without
+    /// materializing the plan. The grid is a mixed-radix counter in the
+    /// nesting order (trial is always the innermost digit), so any index
+    /// decodes to its axis coordinates in O(1); the streaming runner
+    /// derives each chunk's units through this, which keeps peak planner
+    /// memory at O(chunk) instead of O(grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= grid_size()` (or the grid is empty).
+    pub fn unit_at(&self, index: u64) -> TrialUnit {
+        assert!(
+            (index as usize) < self.grid_size(),
+            "unit index {index} out of range for grid of {}",
+            self.grid_size()
+        );
+        let trial = index % self.trials;
+        let cell = index / self.trials;
+        let t_len = self.topologies.len() as u64;
+        let a_len = self.adversaries.len() as u64;
+        let w_len = self.workloads.len() as u64;
+        let (ti, ai, wi) = match self.nest {
             NestOrder::TopologyMajor => {
-                for ti in 0..self.topologies.len() {
-                    for ai in 0..self.adversaries.len() {
-                        for wi in 0..self.workloads.len() {
-                            push_cell(ti, ai, wi);
-                        }
-                    }
-                }
+                (cell / (w_len * a_len), (cell / w_len) % a_len, cell % w_len)
             }
             NestOrder::WorkloadMajor => {
-                for wi in 0..self.workloads.len() {
-                    for ai in 0..self.adversaries.len() {
-                        for ti in 0..self.topologies.len() {
-                            push_cell(ti, ai, wi);
-                        }
-                    }
-                }
+                (cell % t_len, (cell / t_len) % a_len, cell / (t_len * a_len))
             }
+        };
+        let (ti, ai, wi) = (ti as usize, ai as usize, wi as usize);
+        let work = &self.workloads[wi];
+        let net_base = work
+            .net_seed
+            .or(self.topologies[ti].seed)
+            .unwrap_or(self.seeds.net_base);
+        let run_base = work.run_seed.unwrap_or(self.seeds.run_base);
+        TrialUnit {
+            topo: ti,
+            adv: ai,
+            work: wi,
+            trial,
+            net_seed: net_base + trial,
+            run_seed: run_base + trial,
+            det_seed: work.det_seed,
         }
-        units
+    }
+
+    /// Expands the grid into trial units in nesting order, deriving every
+    /// unit's seeds from its indices (see the module docs). Equivalent to
+    /// decoding every index through [`ScenarioSpec::unit_at`] — the
+    /// streaming runner's chunked plan and this materialized one are the
+    /// same sequence by construction.
+    pub fn plan(&self) -> Vec<TrialUnit> {
+        (0..self.grid_size() as u64)
+            .map(|i| self.unit_at(i))
+            .collect()
     }
 
     /// The stop condition as an optional round cap.
@@ -394,6 +418,73 @@ pub fn run_spec(spec: &ScenarioSpec) -> ScenarioRun {
         records,
         wall_s: start.elapsed().as_secs_f64(),
     }
+}
+
+/// What a streaming sweep reports instead of a [`ScenarioRun`]: counts and
+/// wall-clock — the records themselves went to the sinks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Units executed (= the grid product).
+    pub units: u64,
+    /// Records produced across all units.
+    pub records: u64,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_s: f64,
+}
+
+/// [`run_spec`] with O(chunk) peak memory: executes the grid in
+/// index-ordered chunks of `chunk` units via
+/// [`crate::parallel::run_trials_chunked`] and hands every completed
+/// unit's records — in unit order — to each sink in turn. Nothing is
+/// retained after a sink returns, so an arbitrarily large grid runs in
+/// bounded memory; a [`crate::sink::Materialize`] sink restores today's
+/// collect-everything behavior and is the differential reference
+/// ([`crate::sink::Materialize::into_run`] equals [`run_spec`]'s output
+/// up to wall-clock).
+///
+/// Sinks observe exactly the serial record stream whatever the chunk size
+/// or thread count — the units of a chunk still execute in parallel, but
+/// chunks are consumed in order and records within a unit stay together.
+///
+/// # Errors
+///
+/// Returns the first sink error (e.g. a full disk under
+/// [`crate::sink::JsonlWriter`]); the sweep stops at the failing chunk.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+pub fn run_spec_streaming(
+    spec: &ScenarioSpec,
+    chunk: u64,
+    sinks: &mut [&mut dyn crate::sink::RecordSink],
+) -> std::io::Result<StreamStats> {
+    let total = spec.grid_size() as u64;
+    let start = Instant::now();
+    let mut records = 0u64;
+    crate::parallel::run_trials_chunked(
+        total,
+        chunk,
+        |i| {
+            let unit = spec.unit_at(i);
+            let recs = run_unit(spec, &unit);
+            (unit, recs)
+        },
+        |_, window| {
+            for (unit, recs) in &window {
+                records += recs.len() as u64;
+                for sink in sinks.iter_mut() {
+                    sink.accept(spec, unit, recs)?;
+                }
+            }
+            Ok::<(), std::io::Error>(())
+        },
+    )?;
+    Ok(StreamStats {
+        units: total,
+        records,
+        wall_s: start.elapsed().as_secs_f64(),
+    })
 }
 
 /// Executes one trial unit.

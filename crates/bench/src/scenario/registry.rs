@@ -52,8 +52,9 @@ fn e1(quick: bool) -> Vec<ScenarioSpec> {
         &[32, 64]
     } else {
         // Extended past the historical n = 512 cap now that trials fan out
-        // in parallel.
-        &[32, 64, 128, 256, 512, 1024, 2048]
+        // in parallel, and past n = 2048 now that `--stream` keeps peak
+        // memory bounded by the chunk size instead of the grid.
+        &[32, 64, 128, 256, 512, 1024, 2048, 4096]
     };
     let mut spec = base_spec(
         "E1",
@@ -265,8 +266,9 @@ fn e7(quick: bool) -> Vec<ScenarioSpec> {
         &[16, 32]
     } else {
         // Extended past the historical n = 128 cap (ROADMAP: scale sweeps
-        // beyond n = 512).
-        &[32, 64, 128, 256, 512, 1024]
+        // beyond n = 512), then to n = 4096 alongside E1 once streaming
+        // execution decoupled sweep memory from grid size.
+        &[32, 64, 128, 256, 512, 1024, 2048, 4096]
     };
     let mut spec = base_spec(
         "E7",

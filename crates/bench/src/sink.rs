@@ -1,0 +1,263 @@
+//! Record sinks: where a streaming sweep's records go.
+//!
+//! [`crate::scenario::run_spec_streaming`] executes a scenario grid in
+//! index-ordered chunks and hands every unit's records — in unit order —
+//! to a set of [`RecordSink`]s, retaining nothing afterwards. Peak memory
+//! is therefore O(chunk + sink state), not O(grid): the hard wall between
+//! the all-records-in-memory harness and the node counts where the
+//! congested-clique asymptotics this repo benchmarks against actually
+//! show.
+//!
+//! Three implementations cover the triangle:
+//!
+//! * [`Materialize`] — collects everything, exactly like
+//!   [`crate::scenario::run_spec`]. The **differential reference**: any
+//!   streaming path can be checked against it record-for-record.
+//! * [`StreamAggregate`] — folds records straight into the
+//!   [`crate::aggregate::AggregateState`] group-by accumulators
+//!   ([`crate::stats::StreamingSummary`] per metric, bounded memory).
+//!   Because sinks see the serial record order whatever the chunk size,
+//!   the rendered table is **byte-identical** to materializing the run
+//!   and rendering [`crate::scenario::RenderKind::Aggregate`] — the
+//!   golden streaming test pins this at several chunk sizes.
+//! * [`JsonlWriter`] — streams each [`RunRecord`] as one JSON line to any
+//!   [`Write`] target, so the full record stream still lands on disk
+//!   (`radio-lab --records PATH.jsonl`) without ever living in RAM.
+//!   Lines parse back via [`RunRecord::from_jsonl`], losslessly.
+//!
+//! Sinks compose: `radio-lab --stream` runs a [`StreamAggregate`] and,
+//! when requested, a [`JsonlWriter`] side by side over one execution.
+
+use crate::aggregate::{AggregateSpec, AggregateState};
+use crate::scenario::{ScenarioRun, ScenarioSpec, TrialUnit};
+use crate::table::Table;
+use radio_structures::runner::RunRecord;
+use std::io::Write;
+
+/// A consumer of the streaming record flow. `accept` is called once per
+/// executed unit, **in unit (= planner) order**, with all of the unit's
+/// records; implementations must not assume anything survives the call —
+/// the runner drops the chunk as soon as every sink has seen it.
+pub trait RecordSink {
+    /// Consumes one unit's records.
+    ///
+    /// # Errors
+    ///
+    /// I/O-backed sinks surface their write errors; the runner stops the
+    /// sweep on the first failure.
+    fn accept(
+        &mut self,
+        spec: &ScenarioSpec,
+        unit: &TrialUnit,
+        records: &[RunRecord],
+    ) -> std::io::Result<()>;
+}
+
+/// The collect-everything sink: reproduces [`crate::scenario::run_spec`]'s
+/// in-memory result. Memory is O(grid) — this is the *reference*
+/// implementation the bounded sinks are verified against, and the
+/// compatibility path for renderers that need every record.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Materialize {
+    units: Vec<TrialUnit>,
+    records: Vec<Vec<RunRecord>>,
+}
+
+impl Materialize {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Materialize::default()
+    }
+
+    /// The collected run, shaped exactly like [`crate::scenario::run_spec`]
+    /// would have returned it (the caller supplies the wall-clock).
+    pub fn into_run(self, wall_s: f64) -> ScenarioRun {
+        ScenarioRun {
+            units: self.units,
+            records: self.records,
+            wall_s,
+        }
+    }
+}
+
+impl RecordSink for Materialize {
+    fn accept(
+        &mut self,
+        _spec: &ScenarioSpec,
+        unit: &TrialUnit,
+        records: &[RunRecord],
+    ) -> std::io::Result<()> {
+        self.units.push(*unit);
+        self.records.push(records.to_vec());
+        Ok(())
+    }
+}
+
+/// The bounded-memory aggregation sink: every record folds directly into
+/// the [`AggregateState`] group-by accumulators, so a grid of millions of
+/// units aggregates in O(groups) memory. The finished table is
+/// byte-identical to rendering the materialized run through
+/// [`crate::aggregate::render_aggregate`] — both paths are the same fold
+/// in the same order.
+pub struct StreamAggregate {
+    state: AggregateState,
+}
+
+impl StreamAggregate {
+    /// A sink folding into `agg`.
+    pub fn new(agg: AggregateSpec) -> Self {
+        StreamAggregate {
+            state: AggregateState::new(agg),
+        }
+    }
+
+    /// The sink a spec's own rendering implies: the spec's `aggregate`
+    /// block when present, the default grouping otherwise — the same
+    /// resolution [`crate::scenario::RenderKind::Aggregate`] uses, so
+    /// `--stream` tables match non-streaming ones for aggregate-rendered
+    /// specs.
+    pub fn for_spec(spec: &ScenarioSpec) -> Self {
+        StreamAggregate::new(spec.aggregate.clone().unwrap_or_default())
+    }
+
+    /// Renders the fold's current state (call after the sweep finishes).
+    pub fn table(&self, spec: &ScenarioSpec) -> Table {
+        self.state.table(spec)
+    }
+}
+
+impl RecordSink for StreamAggregate {
+    fn accept(
+        &mut self,
+        spec: &ScenarioSpec,
+        unit: &TrialUnit,
+        records: &[RunRecord],
+    ) -> std::io::Result<()> {
+        for rec in records {
+            self.state.push(spec, unit, rec);
+        }
+        Ok(())
+    }
+}
+
+/// The record-log sink: one [`RunRecord`] per line of JSONL, in unit
+/// order, written as the sweep progresses — the full record stream on
+/// disk with O(1) sink memory. Wrap the target in a
+/// [`std::io::BufWriter`] for file targets; call [`JsonlWriter::finish`]
+/// to flush when the sweep completes.
+pub struct JsonlWriter<W: Write> {
+    out: W,
+    lines: u64,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// A sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        JsonlWriter { out, lines: 0 }
+    }
+
+    /// Records written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the flush error, if any.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> RecordSink for JsonlWriter<W> {
+    fn accept(
+        &mut self,
+        _spec: &ScenarioSpec,
+        _unit: &TrialUnit,
+        records: &[RunRecord],
+    ) -> std::io::Result<()> {
+        for rec in records {
+            self.out.write_all(rec.to_jsonl().as_bytes())?;
+            self.out.write_all(b"\n")?;
+            self.lines += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{
+        run_spec, run_spec_streaming, NestOrder, RenderKind, ScenarioSpec, SeedPolicy,
+        StopCondition, TopologyEntry, WorkloadEntry,
+    };
+    use radio_sim::spec::{AdversaryKind, TopologyKind};
+    use radio_structures::runner::AlgoKind;
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec {
+            id: "SINK".to_string(),
+            caption: "sink unit test".to_string(),
+            render: RenderKind::Aggregate,
+            topologies: vec![
+                TopologyEntry::new(TopologyKind::Clique { n: 5 }),
+                TopologyEntry::new(TopologyKind::Path { n: 6 }),
+            ],
+            adversaries: vec![AdversaryKind::ReliableOnly],
+            workloads: vec![WorkloadEntry::core(AlgoKind::Mis)],
+            trials: 3,
+            nest: NestOrder::TopologyMajor,
+            seeds: SeedPolicy {
+                net_base: 11,
+                run_base: 3,
+            },
+            stop: StopCondition::Default,
+            aggregate: None,
+        }
+    }
+
+    #[test]
+    fn materialize_sink_equals_run_spec() {
+        let spec = spec();
+        let reference = run_spec(&spec);
+        for chunk in [1u64, 2, 5, 100] {
+            let mut sink = Materialize::new();
+            let stats = run_spec_streaming(&spec, chunk, &mut [&mut sink]).expect("no I/O");
+            assert_eq!(stats.units, spec.grid_size() as u64);
+            let run = sink.into_run(reference.wall_s);
+            assert_eq!(run, reference, "chunk = {chunk}");
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_roundtrip_and_count_records() {
+        let spec = spec();
+        let reference: Vec<RunRecord> = run_spec(&spec).records.into_iter().flatten().collect();
+        let mut sink = JsonlWriter::new(Vec::new());
+        let stats = run_spec_streaming(&spec, 2, &mut [&mut sink]).expect("no I/O");
+        assert_eq!(stats.records, reference.len() as u64);
+        assert_eq!(sink.lines(), reference.len() as u64);
+        let bytes = sink.finish().expect("flushing a Vec cannot fail");
+        let text = String::from_utf8(bytes).expect("JSONL is UTF-8");
+        let parsed: Vec<RunRecord> = text
+            .lines()
+            .map(|l| RunRecord::from_jsonl(l).expect("line parses"))
+            .collect();
+        assert_eq!(parsed, reference);
+    }
+
+    #[test]
+    fn tee_runs_both_sinks_over_one_execution() {
+        let spec = spec();
+        let mut agg = StreamAggregate::for_spec(&spec);
+        let mut log = JsonlWriter::new(Vec::new());
+        run_spec_streaming(&spec, 4, &mut [&mut agg, &mut log]).expect("no I/O");
+        let table = agg.table(&spec);
+        assert_eq!(table.rows.len(), 2, "one row per grid cell");
+        assert_eq!(log.lines(), spec.grid_size() as u64);
+    }
+}

@@ -6,6 +6,14 @@
 
 use serde::{Deserialize, Serialize};
 
+/// The absent-cell marker: what a table prints when a statistic does not
+/// exist (no observations, spread of a single sample, a record without
+/// the field). [`Table::to_csv`] writes these cells as **empty fields**,
+/// so spreadsheets and plotting scripts see a missing value instead of a
+/// dash they would have to special-case (or a NaN they would silently
+/// propagate).
+pub const ABSENT: &str = "—";
+
 /// A rendered experiment table.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Table {
@@ -73,11 +81,15 @@ impl Table {
 
     /// Renders the table as RFC 4180-style CSV: the header line then one
     /// line per row, fields quoted when they contain commas, quotes, or
-    /// newlines. The id/caption are not embedded — the file is pure data
-    /// for spreadsheets and plotting scripts (`radio-lab --csv`).
+    /// newlines. [`ABSENT`] cells become empty fields (a missing value,
+    /// not a dash string). The id/caption are not embedded — the file is
+    /// pure data for spreadsheets and plotting scripts (`radio-lab
+    /// --csv`).
     pub fn to_csv(&self) -> String {
         fn field(s: &str) -> String {
-            if s.contains(['"', ',', '\n', '\r']) {
+            if s == ABSENT {
+                String::new()
+            } else if s.contains(['"', ',', '\n', '\r']) {
                 format!("\"{}\"", s.replace('"', "\"\""))
             } else {
                 s.to_string()
@@ -93,19 +105,19 @@ impl Table {
     }
 }
 
-/// Formats a float with 1 decimal.
+/// Formats a float with 1 decimal ([`ABSENT`] for NaN).
 pub fn f1(x: f64) -> String {
     if x.is_nan() {
-        "—".to_string()
+        ABSENT.to_string()
     } else {
         format!("{x:.1}")
     }
 }
 
-/// Formats a float with 3 decimals.
+/// Formats a float with 3 decimals ([`ABSENT`] for NaN).
 pub fn f3(x: f64) -> String {
     if x.is_nan() {
-        "—".to_string()
+        ABSENT.to_string()
     } else {
         format!("{x:.3}")
     }

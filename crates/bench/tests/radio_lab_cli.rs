@@ -1,0 +1,158 @@
+//! End-to-end tests of the `radio-lab` binary's streaming surface: the
+//! `--stream --no-records --records --csv` pipeline produces parseable
+//! artifacts, the streamed CSV is byte-identical to the materialized run's,
+//! and colliding `--csv` targets uniquify instead of clobbering.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const SPEC: &str = r#"{
+  "id": "CLI-STREAM",
+  "caption": "radio-lab CLI streaming smoke",
+  "render": "Aggregate",
+  "topologies": [
+    { "kind": { "GeometricDense": { "n": 12 } }, "seed": null },
+    { "kind": { "GeometricDense": { "n": 20 } }, "seed": null }
+  ],
+  "adversaries": [{ "Random": { "p": 0.5 } }],
+  "workloads": [
+    { "kind": { "Core": { "algo": "Mis" } },
+      "run_seed": null, "net_seed": null, "det_seed": null }
+  ],
+  "trials": 3,
+  "nest": "TopologyMajor",
+  "seeds": { "net_base": 77, "run_base": 5 },
+  "stop": "Default",
+  "aggregate": null
+}"#;
+
+/// A scratch directory unique to this test binary run.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("radio_lab_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir creates");
+    dir
+}
+
+fn lab(args: &[&str], cwd: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_radio-lab"))
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("radio-lab spawns")
+}
+
+#[test]
+fn streamed_csv_is_byte_identical_to_materialized() {
+    let dir = scratch("ident");
+    std::fs::write(dir.join("spec.json"), SPEC).expect("spec writes");
+
+    let out = lab(
+        &["spec.json", "--out", "mat.json", "--csv", "mat.csv"],
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = lab(
+        &[
+            "spec.json",
+            "--stream",
+            "--chunk",
+            "2",
+            "--no-records",
+            "--records",
+            "records.jsonl",
+            "--out",
+            "str.json",
+            "--csv",
+            "str.csv",
+        ],
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let mat = std::fs::read_to_string(dir.join("mat.csv")).expect("materialized CSV");
+    let str_csv = std::fs::read_to_string(dir.join("str.csv")).expect("streamed CSV");
+    assert_eq!(str_csv, mat, "streamed CSV drifted from materialized");
+
+    // The JSONL log holds one parseable record per unit (MIS = one record
+    // each), and no cell anywhere reads "NaN".
+    let jsonl = std::fs::read_to_string(dir.join("records.jsonl")).expect("JSONL log");
+    assert_eq!(jsonl.lines().count(), 6, "2 topologies × 1 × 1 × 3 trials");
+    for line in jsonl.lines() {
+        assert!(line.contains("\"algo\""), "record line: {line}");
+    }
+    assert!(!str_csv.contains("NaN"), "NaN leaked into CSV: {str_csv}");
+
+    // The streamed results JSON carries counts, not records.
+    let report = std::fs::read_to_string(dir.join("str.json")).expect("results JSON");
+    assert!(report.contains("\"schema\": \"radio-lab/v2\""));
+    assert!(report.contains("\"units\": 6"));
+    assert!(
+        report.contains("\"run\": null"),
+        "records embedded despite --no-records"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_csv_targets_uniquify_and_warn() {
+    let dir = scratch("dup");
+    std::fs::write(dir.join("spec.json"), SPEC).expect("spec writes");
+    // The same spec twice: both tables share the id CLI-STREAM, which
+    // previously collapsed to one clobbered CSV target.
+    let out = lab(
+        &[
+            "spec.json",
+            "spec.json",
+            "--out",
+            "dup.json",
+            "--csv",
+            "dup.csv",
+        ],
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let first = dir.join("dup_CLI-STREAM.csv");
+    let second = dir.join("dup_CLI-STREAM_2.csv");
+    assert!(first.exists(), "first table's CSV missing");
+    assert!(
+        second.exists(),
+        "second table's CSV was clobbered into the first"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&first).expect("first CSV"),
+        std::fs::read_to_string(&second).expect("second CSV"),
+        "identical specs must produce identical tables"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("warning") && stderr.contains("collides"),
+        "no collision warning in stderr: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chunk_without_stream_is_rejected() {
+    let dir = scratch("reject");
+    std::fs::write(dir.join("spec.json"), SPEC).expect("spec writes");
+    let out = lab(&["spec.json", "--chunk", "4"], &dir);
+    assert!(
+        !out.status.success(),
+        "--chunk without --stream must exit nonzero"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

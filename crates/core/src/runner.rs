@@ -368,6 +368,37 @@ impl RunRecord {
         rec
     }
 
+    /// Whether the run reached its goal: a solve round exists and the run
+    /// executed at all. Timed-out runs (`solve_round` = `None` with a
+    /// nonzero `rounds_executed`) and failed builds (`error` set) are both
+    /// unsolved — aggregations exclude them from solve-round statistics by
+    /// default so a round cap is never mistaken for a measurement.
+    pub fn solved(&self) -> bool {
+        self.solve_round.is_some() && self.error.is_none()
+    }
+
+    /// Serializes the record as one line of JSONL — the streaming record
+    /// format (`radio-lab --records PATH.jsonl` writes one record per
+    /// line, in unit order). The output contains no raw newlines, so a
+    /// line-oriented reader can [`RunRecord::from_jsonl`] each line back
+    /// independently; the round-trip is lossless.
+    pub fn to_jsonl(&self) -> String {
+        // The compact encoder never emits newlines (strings escape them),
+        // so one record is exactly one line.
+        serde_json::to_string(self)
+            .expect("records serialize: no non-finite extras by construction")
+    }
+
+    /// Parses one JSONL line back into the record.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error for a malformed or
+    /// wrong-shaped line.
+    pub fn from_jsonl(line: &str) -> Result<RunRecord, serde_json::Error> {
+        serde_json::from_str(line)
+    }
+
     /// Looks up a named extra statistic.
     pub fn extra(&self, key: &str) -> Option<f64> {
         self.extras.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
@@ -750,6 +781,27 @@ mod tests {
             let back: RunRecord = serde_json::from_str(&json).expect("record parses");
             assert_eq!(back, rec);
         }
+    }
+
+    #[test]
+    fn jsonl_survives_non_finite_extras_and_round_trips() {
+        // `push_extra` is the only sanctioned way statistics reach
+        // `extras`, and it drops non-finite values — that guard is what
+        // makes `to_jsonl`'s "cannot fail" expectation true even for
+        // degenerate sweeps (e.g. a two-clique row with zero solved
+        // trials reports mean_solve = NaN, which must vanish rather than
+        // poison the record log).
+        let mut rec = RunRecord::blank("two-clique", 8, 4);
+        rec.push_extra("beta", 4.0);
+        rec.push_extra("mean_solve", f64::NAN);
+        rec.push_extra("mean_bridge", f64::INFINITY);
+        assert_eq!(rec.extra("beta"), Some(4.0));
+        assert_eq!(rec.extra("mean_solve"), None, "NaN extras are dropped");
+        let line = rec.to_jsonl();
+        assert!(!line.contains('\n'), "one record = one line");
+        let back = RunRecord::from_jsonl(&line).expect("line parses");
+        assert_eq!(back, rec);
+        assert!(!back.solved(), "no solve round and no error ⇒ unsolved");
     }
 
     #[test]

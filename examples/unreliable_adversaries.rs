@@ -11,7 +11,10 @@
 //! **aggregate block**: instead of one raw row per record, the renderer
 //! groups trials by adversary and reports mean solve rounds with a 95%
 //! confidence interval — the statistics-over-trials shape every claim in
-//! the dual-graph model needs (see `radio_bench::aggregate`).
+//! the dual-graph model needs (see `radio_bench::aggregate`). A final
+//! pass streams the same grid in chunks through a record sink
+//! (`radio_bench::sink`) and checks the folded table is byte-identical —
+//! the bounded-memory pipeline behind `radio-lab --stream`.
 //!
 //! ```text
 //! cargo run --example unreliable_adversaries --release
@@ -20,9 +23,10 @@
 
 use radio_bench::aggregate::{AggregateSpec, GroupKey, MetricSource, MetricSpec, Reduction};
 use radio_bench::scenario::{
-    render, run_spec, RenderKind, ScenarioSpec, SeedPolicy, StopCondition, TopologyEntry,
-    WorkloadEntry,
+    render, run_spec, run_spec_streaming, RenderKind, ScenarioSpec, SeedPolicy, StopCondition,
+    TopologyEntry, WorkloadEntry,
 };
+use radio_bench::sink::StreamAggregate;
 use radio_sim::spec::TopologyKind;
 use radio_sim::topology::{random_geometric, RandomGeometricConfig};
 use radio_structures::params::MisParams;
@@ -119,6 +123,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let run = run_spec(&spec);
     println!("\n{}", render(&spec, &run).render());
     assert_eq!(run.records.len(), spec.grid_size());
+
+    // The same sweep once more, **streamed**: the grid executes in
+    // index-ordered chunks of 2 units and every record folds straight
+    // into the aggregation accumulators — peak memory O(chunk), table
+    // byte-identical to the materialized render above. This is what
+    // `radio-lab --stream` does, and what lets sweeps scale to grids that
+    // never fit in RAM.
+    let mut agg = StreamAggregate::for_spec(&spec);
+    let stats = run_spec_streaming(&spec, 2, &mut [&mut agg])?;
+    let streamed = agg.table(&spec);
+    assert_eq!(
+        streamed.render(),
+        render(&spec, &run).render(),
+        "streamed fold must match the materialized table byte-for-byte"
+    );
+    println!(
+        "streamed rerun: {} units, {} records, chunk = 2 — table byte-identical",
+        stats.units, stats.records
+    );
 
     println!("unreliable_adversaries OK — correct under every adversary");
     Ok(())

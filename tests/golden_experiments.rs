@@ -836,15 +836,27 @@ fn aggregate_spec_reproduces_e1_byte_for_byte() {
     spec.render = RenderKind::Aggregate;
     spec.aggregate = Some(AggregateSpec {
         group_by: vec![GroupKey::N],
+        // The imperative E1 table substitutes the round budget for
+        // unsolved runs (`solve_round.unwrap_or(rounds_executed)`), so its
+        // declarative mirror opts into that historical convention
+        // explicitly — the PR 4 default excludes unsolved records.
         metrics: vec![
             MetricSpec::labeled(MetricSource::MaxDegree, vec![Reduction::Max], "Delta"),
-            MetricSpec::new(MetricSource::SolveRound, vec![Reduction::Count]),
+            MetricSpec {
+                source: MetricSource::SolveRound,
+                reductions: vec![Reduction::Count],
+                per: None,
+                label: None,
+                include_invalid: Some(true),
+            },
             MetricSpec::new(MetricSource::Valid, vec![Reduction::Frac]),
-            MetricSpec::labeled(
-                MetricSource::SolveRound,
-                vec![Reduction::Mean],
-                "mean solve rounds",
-            ),
+            MetricSpec {
+                source: MetricSource::SolveRound,
+                reductions: vec![Reduction::Mean],
+                per: None,
+                label: Some("mean solve rounds".to_string()),
+                include_invalid: Some(true),
+            },
             MetricSpec::labeled(
                 MetricSource::Extra {
                     key: "budget".to_string(),
@@ -857,6 +869,7 @@ fn aggregate_spec_reproduces_e1_byte_for_byte() {
                 reductions: vec![Reduction::Mean],
                 per: Some(Normalizer::Log3N),
                 label: Some("rounds/log^3 n".to_string()),
+                include_invalid: Some(true),
             },
         ],
         slope: Some(SlopeSpec {

@@ -173,6 +173,7 @@ fn sample_spec(
                         reductions: vec![Reduction::Mean, Reduction::P90, Reduction::Ci95],
                         per: Some(Normalizer::Log3N),
                         label: None,
+                        include_invalid: Some(trials.is_multiple_of(2)),
                     },
                 ],
                 slope: Some(SlopeSpec {

@@ -1,0 +1,227 @@
+//! Golden tests of the streaming execution pipeline (PR 4): a chunked
+//! sweep through [`radio_bench::sink::StreamAggregate`] must reproduce
+//! the materialized [`radio_bench::scenario::run_spec`] +
+//! `RenderKind::Aggregate` table **byte for byte** at every chunk size,
+//! and the JSONL record log must round-trip losslessly. Any drift in the
+//! chunked planner (`unit_at`), the sink ordering, or the aggregation
+//! fold fails here first.
+
+use radio_bench::aggregate::{
+    AggregateSpec, GroupKey, MetricSource, MetricSpec, Normalizer, Reduction, SlopeAxis, SlopeSpec,
+};
+use radio_bench::scenario::{
+    render, run_spec, run_spec_streaming, NestOrder, RenderKind, ScenarioSpec, SeedPolicy,
+    StopCondition, TopologyEntry, Workload, WorkloadEntry,
+};
+use radio_bench::sink::{JsonlWriter, Materialize, RecordSink, StreamAggregate};
+use radio_sim::spec::{AdversaryKind, TopologyKind};
+use radio_structures::runner::{AlgoKind, RunRecord};
+
+/// An E1-style scaling sweep: several sizes × two adversaries × MIS
+/// trials, grouped by n with CI/median/normalizer/slope — every formatting
+/// path of the aggregate renderer in one table.
+fn e1_style_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        id: "STREAM-E1".to_string(),
+        caption: "streaming golden: MIS solve rounds vs n".to_string(),
+        render: RenderKind::Aggregate,
+        topologies: vec![
+            TopologyEntry::new(TopologyKind::GeometricDense { n: 16 }),
+            TopologyEntry::new(TopologyKind::GeometricDense { n: 24 }),
+            TopologyEntry::new(TopologyKind::GeometricDense { n: 32 }),
+        ],
+        adversaries: vec![
+            AdversaryKind::ReliableOnly,
+            AdversaryKind::Random { p: 0.5 },
+        ],
+        workloads: vec![WorkloadEntry::core(AlgoKind::Mis)],
+        trials: 3,
+        nest: NestOrder::TopologyMajor,
+        seeds: SeedPolicy {
+            net_base: 400,
+            run_base: 21,
+        },
+        stop: StopCondition::Default,
+        aggregate: Some(AggregateSpec {
+            group_by: vec![GroupKey::N, GroupKey::Adversary],
+            metrics: vec![
+                MetricSpec::new(MetricSource::SolveRound, vec![Reduction::Count]),
+                MetricSpec::new(MetricSource::Valid, vec![Reduction::Frac]),
+                MetricSpec::new(
+                    MetricSource::SolveRound,
+                    vec![
+                        Reduction::Ci95,
+                        Reduction::Median,
+                        Reduction::Min,
+                        Reduction::Max,
+                    ],
+                ),
+                MetricSpec {
+                    source: MetricSource::SolveRound,
+                    reductions: vec![Reduction::Mean],
+                    per: Some(Normalizer::Log3N),
+                    label: None,
+                    include_invalid: None,
+                },
+            ],
+            slope: Some(SlopeSpec {
+                x: SlopeAxis::Log2N,
+                metric: 3,
+                caption: " [p = {p}]".to_string(),
+            }),
+        }),
+    }
+}
+
+/// A spec whose units yield several records each (the two-clique sweep),
+/// so the JSONL log and chunked runner cover the multi-record path too.
+fn multi_record_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        id: "STREAM-5B".to_string(),
+        caption: "streaming golden: two-clique sweep".to_string(),
+        render: RenderKind::Generic,
+        topologies: vec![TopologyEntry::new(TopologyKind::Clique { n: 1 })],
+        adversaries: vec![AdversaryKind::CliqueIsolator],
+        workloads: vec![WorkloadEntry::new(Workload::TwoCliqueSweep {
+            betas: vec![4, 6],
+            trials: 1,
+        })],
+        trials: 2,
+        nest: NestOrder::TopologyMajor,
+        seeds: SeedPolicy {
+            net_base: 0,
+            run_base: 99,
+        },
+        stop: StopCondition::Default,
+        aggregate: None,
+    }
+}
+
+#[test]
+fn stream_aggregate_reproduces_materialized_table_at_every_chunk_size() {
+    let spec = e1_style_spec();
+    let run = run_spec(&spec);
+    let materialized = render(&spec, &run);
+    // The grid is 18 units; chunk sizes straddle 1, divisors,
+    // non-divisors, the exact grid, and far beyond it.
+    for chunk in [1u64, 2, 3, 5, 7, 18, 64] {
+        let mut agg = StreamAggregate::for_spec(&spec);
+        let stats = run_spec_streaming(&spec, chunk, &mut [&mut agg]).expect("no I/O sink");
+        assert_eq!(stats.units, spec.grid_size() as u64, "chunk = {chunk}");
+        let streamed = agg.table(&spec);
+        assert_eq!(
+            streamed.render(),
+            materialized.render(),
+            "streamed table drifted from the materialized fold at chunk = {chunk}"
+        );
+        assert_eq!(
+            streamed.to_csv(),
+            materialized.to_csv(),
+            "CSV drifted at chunk = {chunk}"
+        );
+    }
+}
+
+#[test]
+fn materialize_sink_is_the_identity_reference() {
+    for spec in [e1_style_spec(), multi_record_spec()] {
+        let reference = run_spec(&spec);
+        for chunk in [1u64, 4, 1000] {
+            let mut sink = Materialize::new();
+            run_spec_streaming(&spec, chunk, &mut [&mut sink]).expect("no I/O sink");
+            let run = sink.into_run(reference.wall_s);
+            assert_eq!(run, reference, "{} at chunk = {chunk}", spec.id);
+        }
+    }
+}
+
+#[test]
+fn jsonl_log_roundtrips_into_the_same_records() {
+    for spec in [e1_style_spec(), multi_record_spec()] {
+        let reference: Vec<RunRecord> = run_spec(&spec).records.into_iter().flatten().collect();
+        let mut log = JsonlWriter::new(Vec::new());
+        let stats = run_spec_streaming(&spec, 3, &mut [&mut log]).expect("Vec sink cannot fail");
+        assert_eq!(stats.records, reference.len() as u64, "{}", spec.id);
+        let bytes = log.finish().expect("flushing a Vec cannot fail");
+        let text = String::from_utf8(bytes).expect("JSONL is UTF-8");
+        assert_eq!(text.lines().count(), reference.len(), "{}", spec.id);
+        let parsed: Vec<RunRecord> = text
+            .lines()
+            .map(|line| RunRecord::from_jsonl(line).expect("every line parses alone"))
+            .collect();
+        assert_eq!(parsed, reference, "{}: JSONL round-trip drifted", spec.id);
+    }
+}
+
+#[test]
+fn tee_of_aggregate_and_jsonl_shares_one_execution() {
+    let spec = e1_style_spec();
+    let materialized = render(&spec, &run_spec(&spec));
+    let mut agg = StreamAggregate::for_spec(&spec);
+    let mut log = JsonlWriter::new(Vec::new());
+    {
+        let mut sinks: Vec<&mut dyn RecordSink> = vec![&mut agg, &mut log];
+        run_spec_streaming(&spec, 5, &mut sinks).expect("no I/O sink");
+    }
+    assert_eq!(agg.table(&spec).render(), materialized.render());
+    assert_eq!(log.lines(), spec.grid_size() as u64);
+}
+
+#[test]
+fn unit_at_decodes_the_nested_loop_expansion_both_nestings() {
+    // `plan()` is defined through `unit_at`, so comparing the two would be
+    // tautological. The reference here is the *original nested loops* the
+    // mixed-radix decode replaced — reproduced independently.
+    for nest in [NestOrder::TopologyMajor, NestOrder::WorkloadMajor] {
+        let mut spec = e1_style_spec();
+        spec.nest = nest;
+        let mut reference = Vec::new();
+        let mut push_cell = |ti: usize, ai: usize, wi: usize| {
+            let work = &spec.workloads[wi];
+            let net_base = work
+                .net_seed
+                .or(spec.topologies[ti].seed)
+                .unwrap_or(spec.seeds.net_base);
+            let run_base = work.run_seed.unwrap_or(spec.seeds.run_base);
+            for trial in 0..spec.trials {
+                reference.push((ti, ai, wi, trial, net_base + trial, run_base + trial));
+            }
+        };
+        match nest {
+            NestOrder::TopologyMajor => {
+                for ti in 0..spec.topologies.len() {
+                    for ai in 0..spec.adversaries.len() {
+                        for wi in 0..spec.workloads.len() {
+                            push_cell(ti, ai, wi);
+                        }
+                    }
+                }
+            }
+            NestOrder::WorkloadMajor => {
+                for wi in 0..spec.workloads.len() {
+                    for ai in 0..spec.adversaries.len() {
+                        for ti in 0..spec.topologies.len() {
+                            push_cell(ti, ai, wi);
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(reference.len(), spec.grid_size(), "{nest:?}");
+        for (i, &(ti, ai, wi, trial, net_seed, run_seed)) in reference.iter().enumerate() {
+            let unit = spec.unit_at(i as u64);
+            assert_eq!(
+                (
+                    unit.topo,
+                    unit.adv,
+                    unit.work,
+                    unit.trial,
+                    unit.net_seed,
+                    unit.run_seed
+                ),
+                (ti, ai, wi, trial, net_seed, run_seed),
+                "index {i}, {nest:?}"
+            );
+        }
+    }
+}
