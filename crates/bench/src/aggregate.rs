@@ -22,7 +22,8 @@
 //! downstream of [`crate::parallel::run_trials`].
 
 use crate::scenario::{ScenarioRun, ScenarioSpec, TrialUnit};
-use crate::stats::{loglog_exponent, StreamingSummary};
+pub use crate::stats::DROPPED_POINTS_MARKER;
+use crate::stats::{dropped_points_note, loglog_exponent_counting, StreamingSummary};
 use crate::table::{f1, f3, Table, ABSENT};
 use radio_structures::params::ceil_log2;
 use radio_structures::runner::RunRecord;
@@ -368,6 +369,30 @@ struct Group {
     accs: Vec<StreamingSummary>,
 }
 
+/// One group of an [`AggregateSnapshot`]: the rendered key, the group's
+/// `n`, and one lossless accumulator per metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupSnapshot {
+    /// Rendered key values, in `group_by` order.
+    pub key: Vec<String>,
+    /// Largest `n` among the group's records.
+    pub n_max: usize,
+    /// One accumulator per metric, in [`AggregateSpec::metrics`] order.
+    pub accs: Vec<StreamingSummary>,
+}
+
+/// A serializable, **lossless** image of an [`AggregateState`]: groups in
+/// first-encounter (row) order, each with its accumulators. Floats persist
+/// as bit patterns (see [`crate::stats`]), so
+/// [`AggregateState::restore`]d state is indistinguishable from the
+/// original — a checkpointed sweep resumes, and a shard's partial merges,
+/// with **byte-identical** rendered output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateSnapshot {
+    /// The groups, in first-encounter (= row) order.
+    pub groups: Vec<GroupSnapshot>,
+}
+
 /// The incremental group-by fold behind [`render_aggregate`]: records push
 /// in one at a time (in unit order) and the grouped table renders at any
 /// point. Memory is O(groups), not O(records) — the accumulators are the
@@ -427,6 +452,102 @@ impl AggregateState {
         }
     }
 
+    /// A lossless serializable image of the fold (see
+    /// [`AggregateSnapshot`]).
+    pub fn snapshot(&self) -> AggregateSnapshot {
+        AggregateSnapshot {
+            groups: self
+                .groups
+                .iter()
+                .map(|g| GroupSnapshot {
+                    key: g.key.clone(),
+                    n_max: g.n_max,
+                    accs: g.accs.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds the fold from a snapshot taken under the same `agg` spec.
+    /// The restored state is indistinguishable from the original: pushing
+    /// the remaining records produces exactly the table the uninterrupted
+    /// fold would have.
+    ///
+    /// # Errors
+    ///
+    /// Rejects snapshots whose shape disagrees with `agg` (wrong
+    /// accumulator or key count) — the symptom of restoring against a
+    /// different aggregation than the one that saved.
+    pub fn restore(agg: AggregateSpec, snap: AggregateSnapshot) -> Result<Self, String> {
+        let mut state = AggregateState::new(agg);
+        for (i, g) in snap.groups.into_iter().enumerate() {
+            if g.accs.len() != state.agg.metrics.len() {
+                return Err(format!(
+                    "group {i}: {} accumulators for {} metrics — snapshot from a different \
+                     aggregate spec",
+                    g.accs.len(),
+                    state.agg.metrics.len()
+                ));
+            }
+            if g.key.len() != state.agg.group_by.len() {
+                return Err(format!(
+                    "group {i}: {} key parts for {} group-by keys — snapshot from a different \
+                     aggregate spec",
+                    g.key.len(),
+                    state.agg.group_by.len()
+                ));
+            }
+            if state.by_key.contains_key(&g.key) {
+                return Err(format!("group {i}: duplicate key {:?}", g.key));
+            }
+            state.by_key.insert(g.key.clone(), state.groups.len());
+            state.groups.push(Group {
+                key: g.key,
+                n_max: g.n_max,
+                accs: g.accs,
+            });
+        }
+        Ok(state)
+    }
+
+    /// Folds a later slice's snapshot into this state. Merging shard
+    /// partials **in shard (= index) order** replays each group's raw
+    /// samples, so the combined state — and therefore the rendered table —
+    /// is bit-for-bit the single-process fold (while per-shard groups stay
+    /// below [`crate::stats::EXACT_QUANTILE_CAP`] observations; see
+    /// [`StreamingSummary::merge`]). Groups keep first-encounter order
+    /// across the concatenation, so row order is preserved too.
+    ///
+    /// # Errors
+    ///
+    /// Rejects snapshots whose shape disagrees with this state's spec.
+    pub fn merge(&mut self, snap: &AggregateSnapshot) -> Result<(), String> {
+        for (i, g) in snap.groups.iter().enumerate() {
+            if g.accs.len() != self.agg.metrics.len() || g.key.len() != self.agg.group_by.len() {
+                return Err(format!(
+                    "group {i}: snapshot shape disagrees with the aggregate spec"
+                ));
+            }
+            let group = match self.by_key.get(&g.key) {
+                Some(&at) => &mut self.groups[at],
+                None => {
+                    self.by_key.insert(g.key.clone(), self.groups.len());
+                    self.groups.push(Group {
+                        key: g.key.clone(),
+                        n_max: 0,
+                        accs: vec![StreamingSummary::new(); self.agg.metrics.len()],
+                    });
+                    self.groups.last_mut().expect("just pushed")
+                }
+            };
+            group.n_max = group.n_max.max(g.n_max);
+            for (acc, theirs) in group.accs.iter_mut().zip(&g.accs) {
+                acc.merge(theirs);
+            }
+        }
+        Ok(())
+    }
+
     /// Renders the fold's current state as the grouped table.
     pub fn table(&self, spec: &ScenarioSpec) -> Table {
         let agg = &self.agg;
@@ -453,10 +574,14 @@ impl AggregateState {
             table.push(row);
         }
         if let Some(slope) = &agg.slope {
-            if let Some(fit) = slope_exponent(slope, &self.groups) {
+            let (fit, dropped) = slope_exponent(slope, &self.groups);
+            if let Some(fit) = fit {
                 table
                     .caption
                     .push_str(&slope.caption.replace("{p}", &format!("{fit:.2}")));
+            }
+            if dropped > 0 {
+                table.caption.push_str(&dropped_points_note(dropped));
             }
         }
         table
@@ -476,9 +601,12 @@ pub fn render_aggregate(spec: &ScenarioSpec, run: &ScenarioRun, agg: &AggregateS
     state.table(spec)
 }
 
-/// The fitted log-log exponent across groups, or `None` when the fit is
-/// degenerate (fewer than two usable groups, metric index out of range).
-fn slope_exponent(slope: &SlopeSpec, groups: &[Group]) -> Option<f64> {
+/// The fitted log-log exponent across groups (`None` when the fit is
+/// degenerate — fewer than two usable groups, metric index out of range)
+/// plus the number of points the positivity filter dropped. A non-zero
+/// count means the exponent was fitted on a subset — the caption says so
+/// rather than presenting it as a fit over every group.
+fn slope_exponent(slope: &SlopeSpec, groups: &[Group]) -> (Option<f64>, usize) {
     let points: Vec<(f64, f64)> = groups
         .iter()
         .filter(|g| g.n_max > 0)
@@ -491,7 +619,7 @@ fn slope_exponent(slope: &SlopeSpec, groups: &[Group]) -> Option<f64> {
             Some((x, acc.mean()))
         })
         .collect();
-    loglog_exponent(&points)
+    loglog_exponent_counting(&points)
 }
 
 /// A metric column's header: the label override verbatim (prefixed per
@@ -825,6 +953,143 @@ mod tests {
         assert_eq!(table.rows[0][0], "12.0");
         assert_ne!(table.rows[0][1], ABSENT);
         assert!(table.rows[0][2].contains(" ± "));
+    }
+
+    #[test]
+    fn snapshot_restore_continues_the_fold_byte_identically() {
+        let spec = mis_spec(4);
+        let run = run_spec(&spec);
+        let agg = AggregateSpec::default();
+        // Uninterrupted fold.
+        let whole = render_aggregate(&spec, &run, &agg);
+        // Interrupt after every prefix of the unit stream: snapshot,
+        // round-trip through JSON, restore, fold the rest.
+        let pairs: Vec<_> = run.units.iter().zip(&run.records).collect();
+        for cut in 0..=pairs.len() {
+            let mut state = AggregateState::new(agg.clone());
+            for (unit, recs) in &pairs[..cut] {
+                recs.iter().for_each(|r| state.push(&spec, unit, r));
+            }
+            let json = serde_json::to_string(&state.snapshot()).expect("snapshot serializes");
+            let snap: AggregateSnapshot = serde_json::from_str(&json).expect("snapshot parses");
+            let mut resumed = AggregateState::restore(agg.clone(), snap).expect("shape matches");
+            for (unit, recs) in &pairs[cut..] {
+                recs.iter().for_each(|r| resumed.push(&spec, unit, r));
+            }
+            assert_eq!(
+                resumed.table(&spec).render(),
+                whole.render(),
+                "resume at unit {cut} drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_shapes() {
+        let spec = mis_spec(2);
+        let run = run_spec(&spec);
+        let mut state = AggregateState::new(AggregateSpec::default());
+        for (unit, recs) in run.units.iter().zip(&run.records) {
+            recs.iter().for_each(|r| state.push(&spec, unit, r));
+        }
+        let snap = state.snapshot();
+        // Default spec has 3 metrics; a single-metric spec must refuse it.
+        let skinny = AggregateSpec {
+            group_by: vec![GroupKey::Topology, GroupKey::Adversary, GroupKey::Workload],
+            metrics: vec![MetricSpec::new(MetricSource::Valid, vec![Reduction::Frac])],
+            slope: None,
+        };
+        assert!(AggregateState::restore(skinny.clone(), snap.clone()).is_err());
+        let mut restored = AggregateState::restore(AggregateSpec::default(), snap.clone())
+            .expect("matching shape restores");
+        assert!(restored.merge(&snap).is_ok());
+        let mut mismatched = AggregateState::new(skinny);
+        assert!(mismatched.merge(&snap).is_err());
+    }
+
+    #[test]
+    fn shard_merge_in_order_equals_single_fold() {
+        let spec = mis_spec(3);
+        let run = run_spec(&spec);
+        let agg = AggregateSpec::default();
+        let whole = render_aggregate(&spec, &run, &agg);
+        let pairs: Vec<_> = run.units.iter().zip(&run.records).collect();
+        for shards in [1usize, 2, 3, 5, pairs.len()] {
+            // Contiguous shard ranges in index order.
+            let mut snaps = Vec::new();
+            for s in 0..shards {
+                let (lo, hi) = (s * pairs.len() / shards, (s + 1) * pairs.len() / shards);
+                let mut state = AggregateState::new(agg.clone());
+                for (unit, recs) in &pairs[lo..hi] {
+                    recs.iter().for_each(|r| state.push(&spec, unit, r));
+                }
+                snaps.push(state.snapshot());
+            }
+            let mut folded = AggregateState::new(agg.clone());
+            for snap in &snaps {
+                folded.merge(snap).expect("shapes match");
+            }
+            assert_eq!(
+                folded.table(&spec).render(),
+                whole.render(),
+                "{shards}-shard merge drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn slope_caption_reports_dropped_nonpositive_points() {
+        // Three groups (n = 2, 4, 8); the n = 8 group's metric mean is 0,
+        // so the log-log fit silently ran on two points before the fix.
+        let spec = mis_spec(1);
+        let mut records = Vec::new();
+        for (n, v) in [(2usize, 4.0), (4, 16.0), (8, 0.0)] {
+            let mut rec = RunRecord::blank("mis", n, 1);
+            rec.valid = true;
+            rec.push_extra("m", v);
+            records.push(rec);
+        }
+        let run = synthetic_run(&spec, records);
+        let mut agg = AggregateSpec {
+            group_by: vec![GroupKey::N],
+            metrics: vec![MetricSpec::new(
+                MetricSource::Extra { key: "m".into() },
+                vec![Reduction::Mean],
+            )],
+            slope: Some(SlopeSpec {
+                x: SlopeAxis::N,
+                metric: 0,
+                caption: " [p = {p}]".to_string(),
+            }),
+        };
+        let table = render_aggregate(&spec, &run, &agg);
+        assert!(table.caption.contains("[p = "), "{}", table.caption);
+        assert!(
+            table.caption.contains(DROPPED_POINTS_MARKER)
+                && table.caption.contains("1 non-positive point "),
+            "no dropped-point note in: {}",
+            table.caption
+        );
+        // All points positive: no note.
+        agg.slope = Some(SlopeSpec {
+            x: SlopeAxis::N,
+            metric: 0,
+            caption: " [p = {p}]".to_string(),
+        });
+        let run = synthetic_run(
+            &spec,
+            [(2usize, 4.0), (4, 16.0), (8, 64.0)]
+                .into_iter()
+                .map(|(n, v)| {
+                    let mut rec = RunRecord::blank("mis", n, 1);
+                    rec.valid = true;
+                    rec.push_extra("m", v);
+                    rec
+                })
+                .collect(),
+        );
+        let table = render_aggregate(&spec, &run, &agg);
+        assert!(!table.caption.contains(DROPPED_POINTS_MARKER));
     }
 
     #[test]

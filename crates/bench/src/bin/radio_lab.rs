@@ -12,6 +12,11 @@
 //! radio-lab spec.json --csv results.csv # aggregated/raw tables as CSV
 //! radio-lab spec.json --stream --chunk 512 \
 //!   --records records.jsonl --no-records  # bounded-memory sweep
+//! radio-lab spec.json --stream --checkpoint cp.json   # durable progress
+//! radio-lab spec.json --stream --checkpoint cp.json --resume  # continue
+//! radio-lab spec.json --stream --shard 0/4 --out s0.partial   # one shard
+//! radio-lab merge s0.partial s1.partial s2.partial s3.partial \
+//!   --out final.json --csv final.csv --records final.jsonl
 //! ```
 //!
 //! Positional arguments naming registry ids (`e1`..`e11`) expand to the
@@ -40,14 +45,43 @@
 //! `Generic` without an `aggregate` block — fall back to the default
 //! aggregate grouping under `--stream` with a stderr notice (their
 //! layouts need the materialized records).
+//!
+//! # Resumable and sharded sweeps
+//!
+//! `--checkpoint PATH` (requires `--stream`, one scenario) makes progress
+//! durable: after every chunk the sinks flush and a
+//! [`radio_bench::checkpoint::SweepCheckpoint`] lands atomically at
+//! `PATH` — spec fingerprint, next grid index, lossless accumulator
+//! state, durable record-log line count. A killed sweep re-run with
+//! `--resume` restores the accumulators, truncates a torn `--records`
+//! tail back to the checkpointed durable prefix (with a warning), and
+//! continues from the last durable chunk; the final table, CSV, and
+//! JSONL are **byte-identical** to an uninterrupted run. A fingerprint
+//! mismatch (the spec changed) is refused.
+//!
+//! `--shard i/m` (requires `--stream`, one scenario) runs the i-th of
+//! `m` contiguous index ranges and writes a
+//! [`radio_bench::checkpoint::ShardPartial`] to `--out` instead of a
+//! results report (give each shard its own `--out` and, if logging,
+//! `--records` path). `radio-lab merge a.partial b.partial … --out
+//! final.json` folds the partials **in shard order** — producing table,
+//! `--csv`, and concatenated `--records` output byte-identical to the
+//! single-process `--stream` run — and refuses missing, duplicate, or
+//! fingerprint-mismatched shards. Shards compose with `--checkpoint`:
+//! each shard can itself be killed and resumed.
 
+use radio_bench::checkpoint::{
+    merge_partials, shard_range, truncate_jsonl_to_lines, ShardPartial, ShardRef, SweepCheckpoint,
+    PARTIAL_SCHEMA,
+};
 use radio_bench::scenario::{
     registry, render, run_spec, run_spec_streaming, RenderKind, ScenarioRun, ScenarioSpec,
 };
 use radio_bench::sink::{JsonlWriter, RecordSink, StreamAggregate};
-use radio_bench::{Table, ThreadPool};
+use radio_bench::{spec_fingerprint, Table, ThreadPool};
 use serde::Serialize;
 use std::io::BufWriter;
+use std::path::Path;
 
 /// One executed scenario in the results file.
 #[derive(Serialize)]
@@ -77,7 +111,10 @@ struct LabReport {
 
 const USAGE: &str = "usage: radio-lab [SPEC.json | e1..e11 | --all] [--quick|--full] \
 [--threads N] [--out PATH] [--csv PATH] [--json] \
-[--stream] [--chunk N] [--records PATH.jsonl] [--no-records]\n\
+[--stream] [--chunk N] [--records PATH.jsonl] [--no-records] \
+[--checkpoint PATH [--resume]] [--shard I/M]\n\
+       radio-lab merge PART.partial... [--out PATH] [--csv PATH] \
+[--records PATH.jsonl] [--json]\n\
 \n\
 SPEC.json is a ScenarioSpec; give it \"render\": \"Aggregate\" (or an\n\
 \"aggregate\" block with group_by keys and metric reductions) for a\n\
@@ -88,6 +125,8 @@ see examples/aggregate_mis.json for the end-to-end shape.\n\
 several get the table id spliced in before the extension, and\n\
 colliding targets — duplicate table ids — are uniquified with a\n\
 numeric suffix and a warning instead of clobbering each other).\n\
+Value-taking flags may be given at most once; a repeated flag is an\n\
+error rather than a silently ignored value.\n\
 --stream executes the grid in index-ordered chunks of --chunk units\n\
 (default 256), folding records into the aggregate table as they\n\
 arrive: peak memory is O(chunk), not O(grid), and the table is\n\
@@ -97,10 +136,27 @@ every RunRecord as one JSON line (unit order) while the sweep runs;\n\
 and record counts plus wall-clock are always recorded). Specs that\n\
 don't render through the aggregate fold — bespoke E* layouts, or\n\
 Generic without an aggregate block — print the default aggregate\n\
-summary under --stream (a notice says so).";
+summary under --stream (a notice says so).\n\
+--checkpoint PATH (with --stream, one scenario) writes a durable\n\
+checkpoint after every chunk: spec fingerprint, next grid index,\n\
+lossless accumulator state. --resume restores it and continues from\n\
+the last durable chunk — output is byte-identical to an uninterrupted\n\
+run; a changed spec (fingerprint mismatch) is refused, and a torn\n\
+--records tail from a crash is truncated back to the durable prefix\n\
+with a warning.\n\
+--shard I/M (with --stream, one scenario) runs the I-th of M\n\
+contiguous grid slices and writes a shard partial to --out; 'radio-lab\n\
+merge *.partial' folds partials in shard order into table/CSV/JSONL\n\
+byte-identical to the single-process run (missing, duplicate, or\n\
+mismatched shards are refused).";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
     std::process::exit(2);
 }
 
@@ -142,17 +198,82 @@ fn spliced(path: &str, id: &str) -> String {
         .into_owned()
 }
 
+/// Flags that take a value; each may appear at most once (a silently
+/// swallowed duplicate is how `--out a.json --out b.json` used to write
+/// only `a.json`).
+const VALUE_FLAGS: [&str; 7] = [
+    "--out",
+    "--csv",
+    "--records",
+    "--chunk",
+    "--threads",
+    "--checkpoint",
+    "--shard",
+];
+
+/// Warns beside the table when a log-log slope was fitted on a subset
+/// (non-positive points dropped — the caption carries the count).
+fn warn_if_subset_fit(table: &Table) {
+    if table
+        .caption
+        .contains(radio_bench::aggregate::DROPPED_POINTS_MARKER)
+    {
+        eprintln!(
+            "warning: {}: log-log exponent fitted on a subset — non-positive points were \
+             dropped (count in the caption)",
+            table.id
+        );
+    }
+}
+
+/// Prints a rendered table to stdout, as markdown or one-line JSON.
+fn emit_table(table: &Table, json_tables: bool) {
+    if json_tables {
+        println!(
+            "{}",
+            serde_json::to_string(table).expect("table serializes")
+        );
+    } else {
+        println!("{}", table.render());
+    }
+    warn_if_subset_fit(table);
+}
+
+fn write_report(report: &LabReport, out_path: &str) {
+    let json = serde_json::to_string_pretty(report).expect("report serializes");
+    std::fs::write(out_path, json).unwrap_or_else(|e| {
+        fail(&format!("cannot write {out_path}: {e}"));
+    });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{USAGE}");
         return;
     }
+    // Duplicate value-taking flags used to silently keep the first value
+    // and swallow the second as a positional — refuse them instead.
+    for flag in VALUE_FLAGS {
+        let positions: Vec<usize> = args
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.as_str() == flag)
+            .map(|(i, _)| i)
+            .collect();
+        if positions.len() > 1 {
+            fail(&format!(
+                "{flag} given {} times — each value-taking flag may appear at most once",
+                positions.len()
+            ));
+        }
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let json_tables = args.iter().any(|a| a == "--json");
     let all = args.iter().any(|a| a == "--all");
     let stream = args.iter().any(|a| a == "--stream");
     let no_records = args.iter().any(|a| a == "--no-records");
+    let resume = args.iter().any(|a| a == "--resume");
     // A value-taking flag's argument must exist and not itself be a flag —
     // `--csv --json` silently writing a file named "--json" is worse than
     // exiting.
@@ -171,6 +292,12 @@ fn main() {
         .to_string();
     let csv_path = flag_value("--csv").map(str::to_string);
     let records_path = flag_value("--records").map(str::to_string);
+    let checkpoint_path = flag_value("--checkpoint").map(str::to_string);
+    let shard = flag_value("--shard").map(|v| {
+        ShardRef::parse(v).unwrap_or_else(|e| {
+            fail(&format!("--shard: {e}"));
+        })
+    });
     let chunk = flag_value("--chunk").map_or(256u64, |v| match v.parse::<u64>() {
         Ok(n) if n >= 1 => n,
         _ => {
@@ -178,10 +305,6 @@ fn main() {
             usage();
         }
     });
-    if !stream && (records_path.is_some() || args.iter().any(|a| a == "--chunk")) {
-        eprintln!("--records/--chunk only apply to --stream runs");
-        usage();
-    }
     // A scoped pool for this run: nothing process-global changes, so
     // concurrent labs (or a test harness running labs in parallel) each
     // keep their own width.
@@ -199,17 +322,20 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if matches!(
-            a.as_str(),
-            "--out" | "--threads" | "--csv" | "--records" | "--chunk"
-        ) {
+        if VALUE_FLAGS.contains(&a.as_str()) {
             skip_next = true;
             continue;
         }
         if a.starts_with("--") {
             if !matches!(
                 a.as_str(),
-                "--quick" | "--full" | "--json" | "--all" | "--stream" | "--no-records"
+                "--quick"
+                    | "--full"
+                    | "--json"
+                    | "--all"
+                    | "--stream"
+                    | "--no-records"
+                    | "--resume"
             ) {
                 eprintln!("unknown flag {a}");
                 usage();
@@ -217,6 +343,43 @@ fn main() {
             continue;
         }
         inputs.push(a.clone());
+    }
+
+    // `radio-lab merge a.partial b.partial …` — fold shard partials.
+    if inputs.first().is_some_and(|a| a == "merge") {
+        if stream
+            || resume
+            || shard.is_some()
+            || checkpoint_path.is_some()
+            || all
+            || quick
+            || no_records
+            || pool.is_some()
+            || args.iter().any(|a| a == "--chunk")
+        {
+            fail("merge takes only partial files plus --out/--csv/--records/--json");
+        }
+        run_merge(
+            &inputs[1..],
+            &out_path,
+            csv_path.as_deref(),
+            records_path.as_deref(),
+            json_tables,
+        );
+        return;
+    }
+
+    if !stream && (records_path.is_some() || args.iter().any(|a| a == "--chunk")) {
+        eprintln!("--records/--chunk only apply to --stream runs");
+        usage();
+    }
+    if !stream && (checkpoint_path.is_some() || shard.is_some() || resume) {
+        eprintln!("--checkpoint/--resume/--shard only apply to --stream runs");
+        usage();
+    }
+    if resume && checkpoint_path.is_none() {
+        eprintln!("--resume requires --checkpoint PATH (the file to continue from)");
+        usage();
     }
     if all {
         inputs.extend(registry::ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
@@ -236,17 +399,39 @@ fn main() {
         let text = match std::fs::read_to_string(input) {
             Ok(t) => t,
             Err(e) => {
-                eprintln!("{input}: not a registry id (e1..e11) and unreadable as a file: {e}");
-                std::process::exit(2);
+                fail(&format!(
+                    "{input}: not a registry id (e1..e11) and unreadable as a file: {e}"
+                ));
             }
         };
         match serde_json::from_str::<ScenarioSpec>(&text) {
             Ok(spec) => specs.push(spec),
             Err(e) => {
-                eprintln!("{input}: invalid ScenarioSpec JSON: {e}");
-                std::process::exit(2);
+                fail(&format!("{input}: invalid ScenarioSpec JSON: {e}"));
             }
         }
+    }
+
+    // Checkpointed / sharded sweeps run one scenario through the durable
+    // pipeline and return.
+    if checkpoint_path.is_some() || shard.is_some() {
+        let [spec] = &specs[..] else {
+            fail("--checkpoint/--shard apply to exactly one scenario per invocation");
+        };
+        run_checkpointed(
+            spec,
+            chunk,
+            pool.as_ref(),
+            shard,
+            checkpoint_path.as_deref(),
+            resume,
+            records_path.as_deref(),
+            &out_path,
+            csv_path.as_deref(),
+            json_tables,
+            quick,
+        );
+        return;
     }
 
     // One JSONL log across every scenario of the run, written as records
@@ -280,29 +465,7 @@ fn main() {
             }
         );
         let (table, units, records, wall_s, run) = if stream {
-            // The streamed table only matches the non-streamed one when the
-            // spec renders through the aggregate fold already: Aggregate,
-            // or Generic with an explicit block. Everything else — bespoke
-            // E* layouts *and* raw Generic (one row per record) — falls
-            // back to the default aggregate grouping, so say so.
-            let streams_natively = matches!(spec.render, RenderKind::Aggregate)
-                || (matches!(spec.render, RenderKind::Generic) && spec.aggregate.is_some());
-            if !streams_natively {
-                // The sink still honors an explicit aggregate block even
-                // when the render kind is bespoke — say which grouping
-                // actually renders.
-                eprintln!(
-                    "{}: --stream renders the {} instead of the {:?} layout (it needs \
-                     materialized records)",
-                    spec.id,
-                    if spec.aggregate.is_some() {
-                        "spec's aggregate block"
-                    } else {
-                        "default aggregate summary"
-                    },
-                    spec.render
-                );
-            }
+            stream_fallback_notice(&spec);
             let mut agg = StreamAggregate::for_spec(&spec);
             let stats = {
                 let mut sinks: Vec<&mut dyn RecordSink> = vec![&mut agg];
@@ -335,14 +498,7 @@ fn main() {
         if csv_path.is_some() {
             csv_tables.push((table.id.clone(), table.to_csv()));
         }
-        if json_tables {
-            println!(
-                "{}",
-                serde_json::to_string(&table).expect("table serializes")
-            );
-        } else {
-            println!("{}", table.render());
-        }
+        emit_table(&table, json_tables);
         eprintln!("{}: {:.3}s", spec.id, wall_s);
         report.wall_s_total += wall_s;
         report.scenarios.push(LabScenario {
@@ -364,11 +520,7 @@ fn main() {
         });
         eprintln!("wrote {}", records_path.as_deref().unwrap_or("records"));
     }
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(&out_path, json).unwrap_or_else(|e| {
-        eprintln!("cannot write {out_path}: {e}");
-        std::process::exit(1);
-    });
+    write_report(&report, &out_path);
     if let Some(path) = &csv_path {
         // One table → exactly the requested path; several tables get the
         // table id spliced in before the extension (one well-formed CSV
@@ -393,6 +545,284 @@ fn main() {
     eprintln!(
         "wrote {out_path} ({} scenarios, {:.3}s total)",
         report.scenarios.len(),
+        report.wall_s_total
+    );
+}
+
+/// The stderr notice for specs that don't stream natively (their layouts
+/// need materialized records, so `--stream` renders the aggregate fold).
+fn stream_fallback_notice(spec: &ScenarioSpec) {
+    let streams_natively = matches!(spec.render, RenderKind::Aggregate)
+        || (matches!(spec.render, RenderKind::Generic) && spec.aggregate.is_some());
+    if !streams_natively {
+        eprintln!(
+            "{}: --stream renders the {} instead of the {:?} layout (it needs \
+             materialized records)",
+            spec.id,
+            if spec.aggregate.is_some() {
+                "spec's aggregate block"
+            } else {
+                "default aggregate summary"
+            },
+            spec.render
+        );
+    }
+}
+
+/// Runs one scenario through the durable streaming pipeline: chunked
+/// execution with per-chunk checkpoints (`--checkpoint`), optional resume
+/// from the last durable chunk (`--resume`), and optional restriction to
+/// one contiguous shard of the grid (`--shard i/m`, writing a partial
+/// artifact instead of a results report).
+#[allow(clippy::too_many_arguments)] // CLI surface, one call site
+fn run_checkpointed(
+    spec: &ScenarioSpec,
+    chunk: u64,
+    pool: Option<&ThreadPool>,
+    shard: Option<ShardRef>,
+    checkpoint_path: Option<&str>,
+    resume: bool,
+    records_path: Option<&str>,
+    out_path: &str,
+    csv_path: Option<&str>,
+    json_tables: bool,
+    quick: bool,
+) {
+    stream_fallback_notice(spec);
+    let total = spec.grid_size() as u64;
+    let bounds = shard.map_or(0..total, |s| shard_range(total, s));
+    // Testing hook: stop cleanly after N chunks (checkpoint left behind),
+    // simulating a kill at an exact chunk boundary.
+    let limit_chunks =
+        std::env::var("RADIO_LAB_DIE_AFTER_CHUNKS")
+            .ok()
+            .map(|v| match v.parse::<u64>() {
+                Ok(n) if n >= 1 => n,
+                _ => fail(&format!("RADIO_LAB_DIE_AFTER_CHUNKS must be >= 1, got {v}")),
+            });
+
+    let (mut agg, mut jsonl, todo_start, base_records, base_wall_s);
+    if resume {
+        let cp_path = Path::new(checkpoint_path.expect("--resume implies --checkpoint"));
+        let cp = SweepCheckpoint::load(cp_path).unwrap_or_else(|e| {
+            fail(&format!("cannot resume: {e}"));
+        });
+        cp.validate(spec, shard, &bounds, records_path.is_some())
+            .unwrap_or_else(|e| fail(&format!("cannot resume: {e}")));
+        jsonl = match (cp.jsonl_lines, records_path) {
+            (Some(lines), Some(path)) => {
+                let report = truncate_jsonl_to_lines(Path::new(path), lines)
+                    .unwrap_or_else(|e| fail(&format!("cannot resume: {e}")));
+                if report.dropped_bytes > 0 {
+                    eprintln!(
+                        "warning: {path}: dropped {} byte(s) past the checkpoint ({} complete \
+                         line(s){}) — the resumed sweep re-emits them",
+                        report.dropped_bytes,
+                        report.dropped_lines,
+                        if report.torn_tail {
+                            " plus a torn final line"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                let file = std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(path)
+                    .unwrap_or_else(|e| fail(&format!("cannot append to {path}: {e}")));
+                Some(JsonlWriter::resume(BufWriter::new(file), lines))
+            }
+            _ => None,
+        };
+        agg = StreamAggregate::restore_for_spec(spec, cp.aggregate)
+            .unwrap_or_else(|e| fail(&format!("cannot resume: {e}")));
+        todo_start = cp.next_index;
+        base_records = cp.records;
+        base_wall_s = cp.wall_s;
+        eprintln!(
+            "resuming {} at grid index {} of {}..{} ({} records durable)...",
+            spec.id, todo_start, bounds.start, bounds.end, base_records
+        );
+    } else {
+        if let Some(cp) = checkpoint_path {
+            if Path::new(cp).exists() {
+                fail(&format!(
+                    "{cp} already exists — pass --resume to continue it, or remove it to start \
+                     fresh"
+                ));
+            }
+        }
+        jsonl = records_path.map(|path| {
+            let file = std::fs::File::create(path)
+                .unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}")));
+            JsonlWriter::new(BufWriter::new(file))
+        });
+        agg = StreamAggregate::for_spec(spec);
+        todo_start = bounds.start;
+        base_records = 0;
+        base_wall_s = 0.0;
+        eprintln!(
+            "running {} ({} units{}, streaming in chunks of {chunk}{}{})...",
+            spec.id,
+            bounds.end - bounds.start,
+            if quick { ", quick" } else { "" },
+            shard.map_or(String::new(), |s| format!(", shard {s}")),
+            if checkpoint_path.is_some() {
+                ", checkpointed"
+            } else {
+                ""
+            }
+        );
+    }
+
+    let mut run_slice = || {
+        radio_bench::checkpoint::run_slice_checkpointed(
+            radio_bench::checkpoint::SliceJob {
+                spec,
+                chunk,
+                todo: todo_start..bounds.end,
+                bounds: bounds.clone(),
+                shard,
+                base_records,
+                base_wall_s,
+                checkpoint_path: checkpoint_path.map(Path::new),
+                limit_chunks,
+            },
+            &mut agg,
+            jsonl.as_mut(),
+        )
+    };
+    let outcome = match pool {
+        Some(p) => p.install(run_slice),
+        None => run_slice(),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("{}: streaming sink error: {e}", spec.id);
+        std::process::exit(1);
+    });
+    if outcome.interrupted {
+        eprintln!(
+            "{}: stopping at grid index {} after {} chunk(s) (RADIO_LAB_DIE_AFTER_CHUNKS)",
+            spec.id,
+            outcome.next_index,
+            limit_chunks.unwrap_or(0)
+        );
+        // Mimic a SIGKILL exit so harnesses treat this as the crash it
+        // simulates; the checkpoint (if configured) stays behind.
+        std::process::exit(137);
+    }
+    if let Some(w) = jsonl.take() {
+        w.finish().unwrap_or_else(|e| {
+            eprintln!("cannot flush {}: {e}", records_path.unwrap_or("records"));
+            std::process::exit(1);
+        });
+        eprintln!("wrote {}", records_path.unwrap_or("records"));
+    }
+    let table = agg.table(spec);
+    emit_table(&table, json_tables);
+    eprintln!("{}: {:.3}s", spec.id, outcome.wall_s);
+    if let Some(path) = csv_path {
+        std::fs::write(path, table.to_csv())
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    if let Some(s) = shard {
+        let partial = ShardPartial {
+            schema: PARTIAL_SCHEMA.to_string(),
+            fingerprint: spec_fingerprint(spec),
+            shard: s,
+            start: bounds.start,
+            end: bounds.end,
+            records: outcome.records,
+            wall_s: outcome.wall_s,
+            records_path: records_path.map(str::to_string),
+            spec: spec.clone(),
+            aggregate: agg.snapshot(),
+        };
+        partial
+            .save(Path::new(out_path))
+            .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
+        eprintln!(
+            "wrote {out_path} (shard {s}, units {}..{}, {:.3}s)",
+            bounds.start, bounds.end, outcome.wall_s
+        );
+    } else {
+        let report = LabReport {
+            schema: "radio-lab/v2".to_string(),
+            quick,
+            streamed: true,
+            wall_s_total: outcome.wall_s,
+            scenarios: vec![LabScenario {
+                spec: spec.clone(),
+                tables: vec![table],
+                units: bounds.end - bounds.start,
+                records: outcome.records,
+                wall_s: outcome.wall_s,
+                run: None,
+            }],
+        };
+        write_report(&report, out_path);
+        eprintln!(
+            "wrote {out_path} (1 scenario, {:.3}s total)",
+            outcome.wall_s
+        );
+    }
+}
+
+/// `radio-lab merge` — fold shard partials, in shard order, back into the
+/// single sweep's table/CSV/JSONL (byte-identical to the single-process
+/// `--stream` run).
+fn run_merge(
+    files: &[String],
+    out_path: &str,
+    csv_path: Option<&str>,
+    records_out: Option<&str>,
+    json_tables: bool,
+) {
+    if files.is_empty() {
+        fail("merge needs at least one .partial file");
+    }
+    let partials: Vec<ShardPartial> = files
+        .iter()
+        .map(|f| {
+            ShardPartial::load(Path::new(f)).unwrap_or_else(|e| fail(&format!("cannot merge: {e}")))
+        })
+        .collect();
+    let merged = merge_partials(partials).unwrap_or_else(|e| fail(&format!("cannot merge: {e}")));
+    let table = merged.agg.table(&merged.spec);
+    emit_table(&table, json_tables);
+    if let Some(path) = csv_path {
+        std::fs::write(path, table.to_csv())
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = records_out {
+        let bytes =
+            radio_bench::checkpoint::concat_record_logs(&merged.records_paths, Path::new(path))
+                .unwrap_or_else(|e| fail(&format!("cannot assemble {path}: {e}")));
+        eprintln!(
+            "wrote {path} ({} record logs, {bytes} bytes)",
+            merged.records_paths.len()
+        );
+    }
+    let shards = merged.records_paths.len();
+    let report = LabReport {
+        schema: "radio-lab/v2".to_string(),
+        quick: false,
+        streamed: true,
+        wall_s_total: merged.wall_s,
+        scenarios: vec![LabScenario {
+            spec: merged.spec,
+            tables: vec![table],
+            units: merged.units,
+            records: merged.records,
+            wall_s: merged.wall_s,
+            run: None,
+        }],
+    };
+    write_report(&report, out_path);
+    eprintln!(
+        "wrote {out_path} (merged {shards} shards, {:.3}s summed shard time)",
         report.wall_s_total
     );
 }

@@ -14,6 +14,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod aggregate;
+pub mod checkpoint;
 pub mod enginebench;
 pub mod experiments;
 pub mod parallel;
@@ -23,8 +24,16 @@ pub mod stats;
 pub mod table;
 
 pub use aggregate::AggregateSpec;
+pub use checkpoint::{
+    merge_partials, shard_range, spec_fingerprint, ShardPartial, ShardRef, SweepCheckpoint,
+};
 pub use experiments::{run_experiment, ALL_EXPERIMENTS};
-pub use parallel::{run_trials, run_trials_chunked, run_trials_in, ThreadPool};
-pub use scenario::{render, run_spec, run_spec_streaming, ScenarioRun, ScenarioSpec, StreamStats};
+pub use parallel::{
+    run_trials, run_trials_chunked, run_trials_chunked_range, run_trials_in, ThreadPool,
+};
+pub use scenario::{
+    render, run_spec, run_spec_streaming, run_spec_streaming_range, ScenarioRun, ScenarioSpec,
+    StreamStats,
+};
 pub use sink::{JsonlWriter, Materialize, RecordSink, StreamAggregate};
 pub use table::Table;

@@ -89,8 +89,28 @@ where
 /// .unwrap();
 /// assert_eq!(streamed, run_trials(10, |t| t * t));
 /// ```
-pub fn run_trials_chunked<R, E, F, S>(
-    trials: u64,
+pub fn run_trials_chunked<R, E, F, S>(trials: u64, chunk: u64, f: F, consume: S) -> Result<(), E>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+    S: FnMut(u64, Vec<R>) -> Result<(), E>,
+{
+    run_trials_chunked_range(0..trials, chunk, f, consume)
+}
+
+/// [`run_trials_chunked`] over an arbitrary index slice `range` of a larger
+/// grid: windows cover `[range.start, range.end)` in index order, so the
+/// concatenation of the windows of consecutive ranges is exactly the
+/// windows of the whole — the primitive behind resumable (`--resume`
+/// continues at the checkpointed index) and sharded (`--shard i/m` runs
+/// one contiguous slice) sweeps. `consume` still receives each window's
+/// absolute start index.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero or the range is inverted.
+pub fn run_trials_chunked_range<R, E, F, S>(
+    range: std::ops::Range<u64>,
     chunk: u64,
     f: F,
     mut consume: S,
@@ -101,9 +121,10 @@ where
     S: FnMut(u64, Vec<R>) -> Result<(), E>,
 {
     assert!(chunk > 0, "chunk size must be positive");
-    let mut start = 0u64;
-    while start < trials {
-        let end = trials.min(start.saturating_add(chunk));
+    assert!(range.start <= range.end, "inverted index range");
+    let mut start = range.start;
+    while start < range.end {
+        let end = range.end.min(start.saturating_add(chunk));
         let results: Vec<R> = (start..end).into_par_iter().map(&f).collect();
         consume(start, results)?;
         start = end;

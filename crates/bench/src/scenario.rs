@@ -44,7 +44,7 @@
 
 use crate::aggregate::AggregateSpec;
 use crate::parallel::run_trials;
-use crate::stats::loglog_exponent;
+use crate::stats::{dropped_points_note, loglog_exponent_counting};
 use crate::table::{f1, f3, Table};
 use hitting_games::{
     expected_rounds_floor, mean_hitting_time, two_clique_sweep, UniformNoReplacement,
@@ -424,7 +424,8 @@ pub fn run_spec(spec: &ScenarioSpec) -> ScenarioRun {
 /// wall-clock — the records themselves went to the sinks.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StreamStats {
-    /// Units executed (= the grid product).
+    /// Units executed (the grid product for a full sweep; the slice
+    /// length for a [`run_spec_streaming_range`] slice).
     pub units: u64,
     /// Records produced across all units.
     pub records: u64,
@@ -460,35 +461,102 @@ pub fn run_spec_streaming(
     sinks: &mut [&mut dyn crate::sink::RecordSink],
 ) -> std::io::Result<StreamStats> {
     let total = spec.grid_size() as u64;
+    run_spec_streaming_range(spec, chunk, 0..total, sinks)
+}
+
+/// [`run_spec_streaming`] over an arbitrary index-ordered slice
+/// `range` of the grid: the sinks observe exactly the records of units
+/// `range.start..range.end`, in unit order. Because the grid decodes
+/// index-by-index ([`ScenarioSpec::unit_at`]) with index-derived seeds,
+/// the concatenation of consecutive ranges is **bit-identical** to the
+/// whole sweep — this is the execution primitive behind resumable
+/// (`--resume` re-enters at the checkpointed index) and sharded
+/// (`--shard i/m` runs one contiguous slice) sweeps.
+///
+/// After each completed chunk every sink's
+/// [`crate::sink::RecordSink::flush_chunk`] runs, so I/O sinks are
+/// durable at chunk granularity.
+///
+/// # Errors
+///
+/// Returns the first sink error; the sweep stops at the failing chunk.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero, the range is inverted, or `range.end`
+/// exceeds the grid size.
+pub fn run_spec_streaming_range(
+    spec: &ScenarioSpec,
+    chunk: u64,
+    range: std::ops::Range<u64>,
+    sinks: &mut [&mut dyn crate::sink::RecordSink],
+) -> std::io::Result<StreamStats> {
+    run_spec_streaming_range_with(spec, chunk, range, sinks, |_, _| Ok(()))
+}
+
+/// [`run_spec_streaming_range`] with a chunk-boundary hook: after each
+/// chunk's records have been accepted by every sink *and* every sink has
+/// flushed, `on_chunk(next_index, records_so_far)` runs — `next_index` is
+/// the first grid index not yet executed and `records_so_far` counts the
+/// slice's records accepted so far. The checkpoint writer hangs here: by
+/// the time the hook sees an index, everything before it is durable in
+/// the sinks, so a checkpoint recording `next_index` never points past
+/// durable data.
+///
+/// # Errors
+///
+/// Returns the first sink or hook error; the sweep stops at that chunk.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero, the range is inverted, or `range.end`
+/// exceeds the grid size.
+pub fn run_spec_streaming_range_with(
+    spec: &ScenarioSpec,
+    chunk: u64,
+    range: std::ops::Range<u64>,
+    sinks: &mut [&mut dyn crate::sink::RecordSink],
+    mut on_chunk: impl FnMut(u64, u64) -> std::io::Result<()>,
+) -> std::io::Result<StreamStats> {
+    assert!(
+        range.end <= spec.grid_size() as u64,
+        "range end {} exceeds grid of {}",
+        range.end,
+        spec.grid_size()
+    );
+    let units = range.end.saturating_sub(range.start);
     let start = Instant::now();
     let mut records = 0u64;
-    crate::parallel::run_trials_chunked(
-        total,
+    crate::parallel::run_trials_chunked_range(
+        range,
         chunk,
         |i| {
             let unit = spec.unit_at(i);
             let recs = run_unit(spec, &unit);
             (unit, recs)
         },
-        |_, window| {
+        |window_start, window| {
             for (unit, recs) in &window {
                 records += recs.len() as u64;
                 for sink in sinks.iter_mut() {
                     sink.accept(spec, unit, recs)?;
                 }
             }
-            Ok::<(), std::io::Error>(())
+            for sink in sinks.iter_mut() {
+                sink.flush_chunk()?;
+            }
+            on_chunk(window_start + window.len() as u64, records)
         },
     )?;
     Ok(StreamStats {
-        units: total,
+        units,
         records,
         wall_s: start.elapsed().as_secs_f64(),
     })
 }
 
 /// Executes one trial unit.
-fn run_unit(spec: &ScenarioSpec, unit: &TrialUnit) -> Vec<RunRecord> {
+pub(crate) fn run_unit(spec: &ScenarioSpec, unit: &TrialUnit) -> Vec<RunRecord> {
     let topo = &spec.topologies[unit.topo].kind;
     let adversary = spec.adversaries[unit.adv];
     let entry = &spec.workloads[unit.work];
@@ -739,10 +807,14 @@ fn render_e1(spec: &ScenarioSpec, run: &ScenarioRun) -> Table {
         ]);
     }
     // Footer: the measured exponent of solve rounds in log n (paper: ≤ 3).
-    if let Some(p) = loglog_exponent(&fit_points) {
+    let (p, dropped) = loglog_exponent_counting(&fit_points);
+    if let Some(p) = p {
         t.caption.push_str(&format!(
             " [measured exponent of rounds in log n: {p:.2}; paper bound: 3]"
         ));
+    }
+    if dropped > 0 {
+        t.caption.push_str(&dropped_points_note(dropped));
     }
     t
 }

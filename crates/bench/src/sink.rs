@@ -28,7 +28,7 @@
 //! Sinks compose: `radio-lab --stream` runs a [`StreamAggregate`] and,
 //! when requested, a [`JsonlWriter`] side by side over one execution.
 
-use crate::aggregate::{AggregateSpec, AggregateState};
+use crate::aggregate::{AggregateSnapshot, AggregateSpec, AggregateState};
 use crate::scenario::{ScenarioRun, ScenarioSpec, TrialUnit};
 use crate::table::Table;
 use radio_structures::runner::RunRecord;
@@ -51,6 +51,20 @@ pub trait RecordSink {
         unit: &TrialUnit,
         records: &[RunRecord],
     ) -> std::io::Result<()>;
+
+    /// Called once after every completed chunk, before the runner reports
+    /// the chunk durable (and before any checkpoint referencing it is
+    /// written). I/O-backed sinks flush here so that everything a
+    /// checkpoint points at has actually reached the OS — a crash between
+    /// chunks then never leaves a checkpoint pointing past durable data.
+    /// In-memory sinks keep the default no-op.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the flush error; the runner stops the sweep.
+    fn flush_chunk(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 /// The collect-everything sink: reproduces [`crate::scenario::run_spec`]'s
@@ -120,6 +134,37 @@ impl StreamAggregate {
         StreamAggregate::new(spec.aggregate.clone().unwrap_or_default())
     }
 
+    /// A lossless serializable image of the fold so far — what a sweep
+    /// checkpoint or shard partial persists (floats as bit patterns; see
+    /// [`crate::aggregate::AggregateSnapshot`]).
+    pub fn snapshot(&self) -> AggregateSnapshot {
+        self.state.snapshot()
+    }
+
+    /// Rebuilds the sink [`StreamAggregate::for_spec`] would create,
+    /// preloaded with a snapshot's state: feeding the remaining units
+    /// produces exactly the table the uninterrupted sweep would have.
+    ///
+    /// # Errors
+    ///
+    /// Rejects snapshots taken under a different aggregation shape.
+    pub fn restore_for_spec(spec: &ScenarioSpec, snap: AggregateSnapshot) -> Result<Self, String> {
+        Ok(StreamAggregate {
+            state: AggregateState::restore(spec.aggregate.clone().unwrap_or_default(), snap)?,
+        })
+    }
+
+    /// Folds a later shard's snapshot into this sink (shard-order merges
+    /// reproduce the single-process fold; see
+    /// [`crate::aggregate::AggregateState::merge`]).
+    ///
+    /// # Errors
+    ///
+    /// Rejects snapshots taken under a different aggregation shape.
+    pub fn merge_snapshot(&mut self, snap: &AggregateSnapshot) -> Result<(), String> {
+        self.state.merge(snap)
+    }
+
     /// Renders the fold's current state (call after the sweep finishes).
     pub fn table(&self, spec: &ScenarioSpec) -> Table {
         self.state.table(spec)
@@ -156,6 +201,15 @@ impl<W: Write> JsonlWriter<W> {
         JsonlWriter { out, lines: 0 }
     }
 
+    /// A sink continuing an interrupted log: `out` should be the existing
+    /// file opened for append (after the caller truncated it back to
+    /// `lines` durable lines — see
+    /// [`crate::checkpoint::truncate_jsonl_to_lines`]), so the line count
+    /// picks up where the checkpoint left off.
+    pub fn resume(out: W, lines: u64) -> Self {
+        JsonlWriter { out, lines }
+    }
+
     /// Records written so far.
     pub fn lines(&self) -> u64 {
         self.lines
@@ -185,6 +239,14 @@ impl<W: Write> RecordSink for JsonlWriter<W> {
             self.lines += 1;
         }
         Ok(())
+    }
+
+    /// Flushes at every chunk boundary so checkpoint files never reference
+    /// records still sitting in a `BufWriter` — the crash window for a
+    /// torn final line shrinks to mid-chunk, which the resume scan
+    /// truncates away.
+    fn flush_chunk(&mut self) -> std::io::Result<()> {
+        self.out.flush()
     }
 }
 

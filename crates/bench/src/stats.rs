@@ -12,8 +12,11 @@
 //!   aggregation engine folds run records into. Every accumulator has a
 //!   `merge` so per-thread partials combine; merging partials **in
 //!   trial-index order** reproduces the sequential single-pass fold
-//!   bit-for-bit while the accumulators still hold their raw samples, and
-//!   within floating-point tolerance (and any order) afterwards.
+//!   **bit-for-bit** while the partials still hold their raw samples (the
+//!   merge replays them), and within floating-point tolerance in any
+//!   order afterwards. Every accumulator also serializes **losslessly**
+//!   (floats as [`f64::to_bits`] patterns), which is what lets a sweep
+//!   checkpoint its aggregation state and resume bit-identically.
 
 /// Ordinary least-squares slope and intercept of `y = a·x + b`.
 ///
@@ -60,12 +63,35 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Option<(f64, f64)> {
 /// assert!((loglog_exponent(&pts).unwrap() - 2.0).abs() < 1e-9);
 /// ```
 pub fn loglog_exponent(points: &[(f64, f64)]) -> Option<f64> {
+    loglog_exponent_counting(points).0
+}
+
+/// Marker substring of the caption note appended when a log-log fit
+/// dropped non-positive points — `radio-lab` scans rendered captions for
+/// it to raise a stderr warning beside the table.
+pub const DROPPED_POINTS_MARKER: &str = "dropped from log-log fit";
+
+/// The caption note for `dropped` non-positive points excluded from a
+/// log-log fit (contains [`DROPPED_POINTS_MARKER`]).
+pub fn dropped_points_note(dropped: usize) -> String {
+    format!(
+        " [{dropped} non-positive point{} {DROPPED_POINTS_MARKER}]",
+        if dropped == 1 { "" } else { "s" }
+    )
+}
+
+/// [`loglog_exponent`] plus the number of points the positivity filter
+/// dropped. Logarithms only exist for positive coordinates, so the fit
+/// silently ran on a subset whenever a zero or negative point appeared —
+/// callers should surface a non-zero count next to the exponent so a
+/// subset fit never masquerades as a full one.
+pub fn loglog_exponent_counting(points: &[(f64, f64)]) -> (Option<f64>, usize) {
     let logs: Vec<(f64, f64)> = points
         .iter()
         .filter(|&&(x, y)| x > 0.0 && y > 0.0)
         .map(|&(x, y)| (x.ln(), y.ln()))
         .collect();
-    linear_fit(&logs).map(|(a, _)| a)
+    (linear_fit(&logs).map(|(a, _)| a), points.len() - logs.len())
 }
 
 /// Sample mean.
@@ -84,6 +110,36 @@ pub fn stddev(xs: &[f64]) -> f64 {
     }
     let m = mean(xs);
     (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() as f64 - 1.0)).sqrt()
+}
+
+/// Bit-lossless `f64` encoding for checkpoint persistence: the IEEE-754
+/// bit pattern as a JSON integer. Decimal formatting cannot represent
+/// every float exactly (and JSON cannot represent ±∞ at all — an empty
+/// [`StreamingSummary`] holds infinite min/max), so snapshots that must
+/// restore **bit-for-bit** go through [`f64::to_bits`] instead.
+fn f64_to_value(x: f64) -> serde::value::Value {
+    serde::value::Value::U64(x.to_bits())
+}
+
+/// Inverse of [`f64_to_value`].
+fn f64_from_value(v: &serde::value::Value) -> Result<f64, serde::value::DeError> {
+    v.as_u64()
+        .map(f64::from_bits)
+        .ok_or_else(|| serde::value::DeError::expected("f64 bit pattern (u64)", v))
+}
+
+/// Bit-lossless encoding of a float slice (see [`f64_to_value`]).
+fn f64s_to_value(xs: &[f64]) -> serde::value::Value {
+    serde::value::Value::Array(xs.iter().map(|&x| f64_to_value(x)).collect())
+}
+
+/// Inverse of [`f64s_to_value`].
+fn f64s_from_value(v: &serde::value::Value) -> Result<Vec<f64>, serde::value::DeError> {
+    v.as_array()
+        .ok_or_else(|| serde::value::DeError::expected("array of f64 bit patterns", v))?
+        .iter()
+        .map(f64_from_value)
+        .collect()
 }
 
 /// Welford's online mean/variance: one pass, O(1) state, no catastrophic
@@ -167,6 +223,29 @@ impl Welford {
         self.mean += delta * other.count as f64 / total as f64;
         self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
         self.count = total;
+    }
+}
+
+impl serde::Serialize for Welford {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Object(vec![
+            ("count".to_string(), serde::value::Value::U64(self.count)),
+            ("mean".to_string(), f64_to_value(self.mean)),
+            ("m2".to_string(), f64_to_value(self.m2)),
+        ])
+    }
+}
+
+impl serde::Deserialize for Welford {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::value::DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| serde::value::DeError::expected("Welford object", v))?;
+        Ok(Welford {
+            count: serde::Deserialize::from_value(serde::value::field(fields, "count"))?,
+            mean: f64_from_value(serde::value::field(fields, "mean"))?,
+            m2: f64_from_value(serde::value::field(fields, "m2"))?,
+        })
     }
 }
 
@@ -302,6 +381,48 @@ impl P2Quantile {
     }
 }
 
+impl serde::Serialize for P2Quantile {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Object(vec![
+            ("q".to_string(), f64_to_value(self.q)),
+            ("init".to_string(), f64s_to_value(&self.init)),
+            ("heights".to_string(), f64s_to_value(&self.heights)),
+            ("positions".to_string(), f64s_to_value(&self.positions)),
+            ("desired".to_string(), f64s_to_value(&self.desired)),
+            ("increments".to_string(), f64s_to_value(&self.increments)),
+            ("count".to_string(), serde::value::Value::U64(self.count)),
+        ])
+    }
+}
+
+impl serde::Deserialize for P2Quantile {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::value::DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| serde::value::DeError::expected("P2Quantile object", v))?;
+        let five = |key: &str| -> Result<[f64; 5], serde::value::DeError> {
+            f64s_from_value(serde::value::field(fields, key))?
+                .try_into()
+                .map_err(|_| serde::value::DeError::msg(format!("{key} must hold 5 markers")))
+        };
+        let init = f64s_from_value(serde::value::field(fields, "init"))?;
+        if init.len() > 5 {
+            return Err(serde::value::DeError::msg(
+                "init buffer longer than 5 observations",
+            ));
+        }
+        Ok(P2Quantile {
+            q: f64_from_value(serde::value::field(fields, "q"))?,
+            init,
+            heights: five("heights")?,
+            positions: five("positions")?,
+            desired: five("desired")?,
+            increments: five("increments")?,
+            count: serde::Deserialize::from_value(serde::value::field(fields, "count"))?,
+        })
+    }
+}
+
 /// Exact quantile of an already-sorted slice by linear interpolation
 /// (type R-7, `h = (n−1)·q` — numpy/Excel's default).
 fn interpolate_sorted(sorted: &[f64], q: f64) -> f64 {
@@ -335,14 +456,24 @@ pub const EXACT_QUANTILE_CAP: usize = 1024;
 ///
 /// [`StreamingSummary::merge`] combines per-thread partials. While the
 /// right-hand side still holds its raw samples (the common case — partials
-/// are per grid cell), merging in trial-index order replays those samples,
-/// so the percentile state is **identical** to the sequential fold;
-/// count/min/max merge exactly in any order and mean/variance agree with
-/// the sequential fold to within floating-point rounding (Chan's
-/// parallel update). Merging a partial that has itself collapsed
-/// approximates its distribution by its five marker heights
-/// (count-weighted) and is the one lossy path — the aggregation engine
-/// never takes it.
+/// are per grid cell, per chunk, or per shard), merging in trial-index
+/// order **replays** those samples through [`StreamingSummary::push`], so
+/// every statistic — moments and percentile state alike — is **bit-for-bit
+/// identical** to the sequential fold; this is the invariant resumable and
+/// sharded sweeps lean on. Out-of-order merges agree to within
+/// floating-point rounding. Merging a partial that has itself collapsed
+/// (more than [`EXACT_QUANTILE_CAP`] observations in one partial)
+/// Chan-merges the moments and approximates the distribution by its five
+/// marker heights (count-weighted) — the one lossy path; the sweep
+/// harness never takes it at this repo's trial counts.
+///
+/// # Persistence
+///
+/// `Serialize`/`Deserialize` round-trip the accumulator **losslessly**:
+/// every float is stored as its [`f64::to_bits`] pattern (decimal
+/// formatting cannot represent all values, and JSON has no ±∞), so a
+/// restored summary is indistinguishable from the original — the
+/// foundation of sweep checkpointing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamingSummary {
     welford: Welford,
@@ -505,28 +636,28 @@ impl StreamingSummary {
         if other.count() == 0 {
             return;
         }
-        self.welford.merge(&other.welford);
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
         match &other.samples {
+            // The right-hand side still holds its raw samples (the common
+            // case — partials are per grid cell, per chunk, or per shard):
+            // replay them in arrival order. Every statistic — Welford
+            // moments included — then takes *exactly* the sequential fold's
+            // instruction stream, so ordered merges are bit-for-bit the
+            // single-pass result, which is what makes sharded sweeps and
+            // checkpoint/resume byte-identical to uninterrupted runs.
             Some(theirs) => {
-                if let Some(samples) = &mut self.samples {
-                    samples.extend_from_slice(theirs);
-                    if samples.len() > EXACT_QUANTILE_CAP {
-                        self.collapse();
-                    }
-                } else {
-                    let markers = self.markers.as_mut().expect("collapsed ⇒ markers");
-                    for &x in theirs {
-                        for m in markers.iter_mut() {
-                            m.observe(x);
-                        }
-                    }
+                for &x in theirs {
+                    self.push(x);
                 }
             }
             None => {
                 // Lossy path: the right-hand side's raw samples are gone,
-                // so stand in its five marker heights, count-weighted.
+                // so Chan-merge the moments and stand in its five marker
+                // heights, count-weighted, for the percentile state. The
+                // sweep harness never takes this path while per-group
+                // partials stay below [`EXACT_QUANTILE_CAP`].
+                self.welford.merge(&other.welford);
+                self.min = self.min.min(other.min);
+                self.max = self.max.max(other.max);
                 let theirs = other.markers.as_ref().expect("collapsed ⇒ markers");
                 if self.samples.is_some() {
                     self.collapse();
@@ -542,6 +673,66 @@ impl StreamingSummary {
                 }
             }
         }
+    }
+}
+
+impl serde::Serialize for StreamingSummary {
+    fn to_value(&self) -> serde::value::Value {
+        use serde::value::Value;
+        serde::value::Value::Object(vec![
+            ("welford".to_string(), self.welford.to_value()),
+            ("min".to_string(), f64_to_value(self.min)),
+            ("max".to_string(), f64_to_value(self.max)),
+            (
+                "samples".to_string(),
+                match &self.samples {
+                    Some(xs) => f64s_to_value(xs),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "markers".to_string(),
+                match &self.markers {
+                    Some(ms) => Value::Array(ms.iter().map(serde::Serialize::to_value).collect()),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+}
+
+impl serde::Deserialize for StreamingSummary {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::value::DeError> {
+        use serde::value::{field, DeError, Value};
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("StreamingSummary object", v))?;
+        let samples = match field(fields, "samples") {
+            Value::Null => None,
+            other => Some(f64s_from_value(other)?),
+        };
+        let markers = match field(fields, "markers") {
+            Value::Null => None,
+            other => {
+                let ms: Vec<P2Quantile> = serde::Deserialize::from_value(other)?;
+                let ms: [P2Quantile; 3] = ms
+                    .try_into()
+                    .map_err(|_| DeError::msg("markers must hold 3 quantile estimators"))?;
+                Some(Box::new(ms))
+            }
+        };
+        if samples.is_some() == markers.is_some() {
+            return Err(DeError::msg(
+                "StreamingSummary must hold exactly one of samples or markers",
+            ));
+        }
+        Ok(StreamingSummary {
+            welford: serde::Deserialize::from_value(field(fields, "welford"))?,
+            min: f64_from_value(field(fields, "min"))?,
+            max: f64_from_value(field(fields, "max"))?,
+            samples,
+            markers,
+        })
     }
 }
 
@@ -715,6 +906,120 @@ mod tests {
         assert!((sequential.median() - exact_med).abs() / exact_med.abs() < 0.05);
         // Untracked quantiles are unavailable after collapse.
         assert!(sequential.quantile(0.25).is_nan());
+    }
+
+    #[test]
+    fn loglog_counting_reports_dropped_points() {
+        let pts: Vec<(f64, f64)> = (1..6).map(|x| (x as f64, 3.0 * (x * x) as f64)).collect();
+        let (p, dropped) = loglog_exponent_counting(&pts);
+        assert!((p.unwrap() - 2.0).abs() < 1e-9);
+        assert_eq!(dropped, 0);
+        // Two poisoned points: same exponent, dropped count surfaced.
+        let mut with_bad = pts.clone();
+        with_bad.push((6.0, 0.0));
+        with_bad.push((-1.0, 4.0));
+        let (p_bad, dropped) = loglog_exponent_counting(&with_bad);
+        assert_eq!(p_bad.unwrap().to_bits(), p.unwrap().to_bits());
+        assert_eq!(dropped, 2);
+        // All points dropped: no fit, full count.
+        assert_eq!(
+            loglog_exponent_counting(&[(0.0, 1.0), (-1.0, 2.0)]),
+            (None, 2)
+        );
+    }
+
+    /// Serde round-trip helper: through JSON text and back.
+    fn roundtrip<T: serde::Serialize + serde::Deserialize>(x: &T) -> T {
+        let json = serde_json::to_string(x).expect("serializes");
+        serde_json::from_str(&json).expect("parses")
+    }
+
+    #[test]
+    fn welford_serde_roundtrips_bit_for_bit() {
+        let mut w = Welford::new();
+        for x in [0.1, 1.0 / 3.0, -7.25e-300, 1e18] {
+            w.push(x);
+        }
+        let back = roundtrip(&w);
+        assert_eq!(back.count(), w.count());
+        assert_eq!(back.mean().to_bits(), w.mean().to_bits());
+        assert_eq!(back.variance().to_bits(), w.variance().to_bits());
+        assert_eq!(roundtrip(&Welford::new()), Welford::new());
+    }
+
+    #[test]
+    fn p2_serde_roundtrips_bit_for_bit() {
+        let mut p2 = P2Quantile::new(0.9);
+        for i in 0..50 {
+            p2.observe((i as f64 * 0.777).sin() * 1e3);
+        }
+        let back = roundtrip(&p2);
+        assert_eq!(back, p2);
+        assert_eq!(back.estimate().to_bits(), p2.estimate().to_bits());
+        // Mid-init (under five observations) round-trips too.
+        let mut young = P2Quantile::new(0.5);
+        young.observe(3.0);
+        young.observe(-1.0);
+        assert_eq!(roundtrip(&young), young);
+    }
+
+    #[test]
+    fn summary_serde_roundtrips_bit_for_bit_in_both_modes() {
+        // Exact mode, including the empty summary's infinite min/max
+        // (which plain JSON floats cannot carry at all).
+        let empty = StreamingSummary::new();
+        assert_eq!(roundtrip(&empty), empty);
+        let mut s = StreamingSummary::new();
+        for x in [9.5, 1.0 / 3.0, -2.75, 1e-200] {
+            s.push(x);
+        }
+        let back = roundtrip(&s);
+        assert_eq!(back, s);
+        assert_eq!(back.median().to_bits(), s.median().to_bits());
+        // Collapsed mode: markers round-trip and keep estimating
+        // identically as more observations arrive.
+        let mut big = StreamingSummary::new();
+        for i in 0..(EXACT_QUANTILE_CAP + 100) {
+            big.push(((i * 2_654_435_761) % 10_007) as f64);
+        }
+        let mut back = roundtrip(&big);
+        assert_eq!(back, big);
+        back.push(17.0);
+        big.push(17.0);
+        assert_eq!(back, big, "restored summary diverged on the next push");
+    }
+
+    #[test]
+    fn summary_rejects_malformed_snapshots() {
+        // Both samples and markers absent (or both present) is no valid
+        // accumulator state.
+        let bad = r#"{"welford":{"count":0,"mean":0,"m2":0},"min":0,"max":0,"samples":null,"markers":null}"#;
+        assert!(serde_json::from_str::<StreamingSummary>(bad).is_err());
+    }
+
+    #[test]
+    fn ordered_merge_is_bit_identical_to_sequential_fold() {
+        // The replay merge makes *every* statistic of an ordered chunked
+        // fold — not just the percentile state — bitwise equal to the
+        // single-pass fold, including across the collapse cap.
+        let n = EXACT_QUANTILE_CAP + 300;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| (((i * 48_271) % 65_537) as f64).mul_add(0.125, -4096.0))
+            .collect();
+        let mut sequential = StreamingSummary::new();
+        xs.iter().for_each(|&x| sequential.push(x));
+        for chunk in [1usize, 7, 97, 1000] {
+            let mut merged = StreamingSummary::new();
+            for part in xs.chunks(chunk) {
+                let mut p = StreamingSummary::new();
+                part.iter().for_each(|&x| p.push(x));
+                merged.merge(&p);
+            }
+            assert_eq!(merged, sequential, "chunk = {chunk}");
+            assert_eq!(merged.mean().to_bits(), sequential.mean().to_bits());
+            assert_eq!(merged.variance().to_bits(), sequential.variance().to_bits());
+            assert_eq!(merged.p99().to_bits(), sequential.p99().to_bits());
+        }
     }
 
     #[test]

@@ -1,7 +1,11 @@
 //! End-to-end tests of the `radio-lab` binary's streaming surface: the
 //! `--stream --no-records --records --csv` pipeline produces parseable
 //! artifacts, the streamed CSV is byte-identical to the materialized run's,
-//! and colliding `--csv` targets uniquify instead of clobbering.
+//! colliding `--csv` targets uniquify instead of clobbering, duplicate
+//! value-taking flags are refused, a killed checkpointed sweep resumes
+//! byte-identically (torn `--records` tails truncated with a warning,
+//! changed-spec fingerprints refused), and a sharded sweep merges
+//! byte-identically to the single-process run.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -154,5 +158,289 @@ fn chunk_without_stream_is_rejected() {
         !out.status.success(),
         "--chunk without --stream must exit nonzero"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_value_flags_are_rejected_not_swallowed() {
+    // `--out a.json --out b.json` used to keep a.json and silently treat
+    // b.json as a positional (spec file) argument.
+    let dir = scratch("dupflag");
+    std::fs::write(dir.join("spec.json"), SPEC).expect("spec writes");
+    for dup in [
+        ["--out", "a.json", "--out", "b.json"],
+        ["--csv", "a.csv", "--csv", "b.csv"],
+        ["--threads", "1", "--threads", "2"],
+    ] {
+        let mut args = vec!["spec.json"];
+        args.extend(dup);
+        let out = lab(&args, &dir);
+        assert!(
+            !out.status.success(),
+            "duplicate {} must exit nonzero",
+            dup[0]
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(dup[0]) && stderr.contains("at most once"),
+            "unclear duplicate-flag error: {stderr}"
+        );
+        assert!(
+            !dir.join("a.json").exists() && !dir.join("b.json").exists(),
+            "a duplicate flag still wrote output"
+        );
+    }
+    // --records and --chunk are stream-only; exercise their duplicates
+    // under --stream.
+    let out = lab(
+        &[
+            "spec.json",
+            "--stream",
+            "--chunk",
+            "2",
+            "--chunk",
+            "3",
+            "--out",
+            "o.json",
+        ],
+        &dir,
+    );
+    assert!(!out.status.success(), "duplicate --chunk must exit nonzero");
+    let out = lab(
+        &[
+            "spec.json",
+            "--stream",
+            "--records",
+            "a.jsonl",
+            "--records",
+            "b.jsonl",
+        ],
+        &dir,
+    );
+    assert!(
+        !out.status.success(),
+        "duplicate --records must exit nonzero"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `lab` with an environment variable set.
+fn lab_env(args: &[&str], cwd: &Path, key: &str, value: &str) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_radio-lab"))
+        .args(args)
+        .current_dir(cwd)
+        .env(key, value)
+        .output()
+        .expect("radio-lab spawns")
+}
+
+#[test]
+fn killed_sweep_resumes_byte_identical_even_with_a_torn_records_tail() {
+    let dir = scratch("resume");
+    std::fs::write(dir.join("spec.json"), SPEC).expect("spec writes");
+    // Uninterrupted reference.
+    let out = lab(
+        &[
+            "spec.json",
+            "--stream",
+            "--chunk",
+            "2",
+            "--records",
+            "ref.jsonl",
+            "--out",
+            "ref.json",
+            "--csv",
+            "ref.csv",
+        ],
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let ref_stdout = out.stdout.clone();
+    // Interrupted run: the sweep "dies" at the second chunk boundary
+    // (mimicking SIGKILL with exit 137), leaving the checkpoint behind.
+    let args = [
+        "spec.json",
+        "--stream",
+        "--chunk",
+        "2",
+        "--records",
+        "run.jsonl",
+        "--out",
+        "run.json",
+        "--csv",
+        "run.csv",
+        "--checkpoint",
+        "cp.json",
+    ];
+    let out = lab_env(&args, &dir, "RADIO_LAB_DIE_AFTER_CHUNKS", "2");
+    assert_eq!(out.status.code(), Some(137), "simulated kill exit code");
+    assert!(dir.join("cp.json").exists(), "checkpoint left behind");
+    assert!(
+        !dir.join("run.csv").exists(),
+        "no CSV must exist before completion"
+    );
+    // Simulate the torn final line of a crash mid-write.
+    let mut torn = std::fs::read(dir.join("run.jsonl")).expect("partial log");
+    torn.extend_from_slice(b"{\"algo\": \"torn");
+    std::fs::write(dir.join("run.jsonl"), torn).expect("torn tail appended");
+    // Resume: output must be byte-identical to the uninterrupted run.
+    let mut resume_args = args.to_vec();
+    resume_args.push("--resume");
+    let out = lab(&resume_args, &dir);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("warning") && stderr.contains("torn"),
+        "no torn-tail warning: {stderr}"
+    );
+    assert_eq!(out.stdout, ref_stdout, "stdout table drifted after resume");
+    for (a, b) in [("ref.csv", "run.csv"), ("ref.jsonl", "run.jsonl")] {
+        assert_eq!(
+            std::fs::read(dir.join(a)).expect(a),
+            std::fs::read(dir.join(b)).expect(b),
+            "{b} drifted from {a}"
+        );
+    }
+    assert!(
+        !dir.join("cp.json").exists(),
+        "checkpoint consumed on completion"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_refuses_a_changed_spec_fingerprint() {
+    let dir = scratch("fingerprint");
+    std::fs::write(dir.join("spec.json"), SPEC).expect("spec writes");
+    let args = [
+        "spec.json",
+        "--stream",
+        "--chunk",
+        "2",
+        "--out",
+        "run.json",
+        "--checkpoint",
+        "cp.json",
+    ];
+    let out = lab_env(&args, &dir, "RADIO_LAB_DIE_AFTER_CHUNKS", "1");
+    assert_eq!(out.status.code(), Some(137));
+    // The spec changes under the checkpoint (more trials).
+    std::fs::write(
+        dir.join("spec.json"),
+        SPEC.replace("\"trials\": 3", "\"trials\": 4"),
+    )
+    .expect("spec rewrites");
+    let mut resume_args = args.to_vec();
+    resume_args.push("--resume");
+    let out = lab(&resume_args, &dir);
+    assert!(!out.status.success(), "fingerprint mismatch must refuse");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("fingerprint") && stderr.contains("refusing"),
+        "unclear refusal: {stderr}"
+    );
+    // Starting fresh over an existing checkpoint is refused too.
+    let out = lab(&args, &dir);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--resume"),
+        "should point at --resume"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_sweep_merges_byte_identical_to_single_run() {
+    let dir = scratch("shard");
+    std::fs::write(dir.join("spec.json"), SPEC).expect("spec writes");
+    let out = lab(
+        &[
+            "spec.json",
+            "--stream",
+            "--chunk",
+            "2",
+            "--records",
+            "ref.jsonl",
+            "--out",
+            "ref.json",
+            "--csv",
+            "ref.csv",
+        ],
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let ref_stdout = out.stdout.clone();
+    for i in 0..3 {
+        let shard = format!("{i}/3");
+        let records = format!("s{i}.jsonl");
+        let partial = format!("s{i}.partial");
+        let out = lab(
+            &[
+                "spec.json",
+                "--stream",
+                "--chunk",
+                "2",
+                "--shard",
+                &shard,
+                "--records",
+                &records,
+                "--out",
+                &partial,
+            ],
+            &dir,
+        );
+        assert!(
+            out.status.success(),
+            "shard {i}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // Merge accepts partials in any order; fold is by shard index.
+    let out = lab(
+        &[
+            "merge",
+            "s1.partial",
+            "s2.partial",
+            "s0.partial",
+            "--out",
+            "merged.json",
+            "--csv",
+            "merged.csv",
+            "--records",
+            "merged.jsonl",
+        ],
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(out.stdout, ref_stdout, "merged stdout table drifted");
+    for (a, b) in [("ref.csv", "merged.csv"), ("ref.jsonl", "merged.jsonl")] {
+        assert_eq!(
+            std::fs::read(dir.join(a)).expect(a),
+            std::fs::read(dir.join(b)).expect(b),
+            "{b} drifted from {a}"
+        );
+    }
+    // A missing shard is refused.
+    let out = lab(
+        &["merge", "s0.partial", "s2.partial", "--out", "x.json"],
+        &dir,
+    );
+    assert!(!out.status.success(), "missing shard must refuse");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -176,6 +176,87 @@ proptest! {
         }
     }
 
+    /// Shard-merged accumulators equal the single-run fold **bit for
+    /// bit** — for arbitrary shard counts and both merge nestings (left
+    /// fold and right-leaning) — because ordered merges replay the raw
+    /// samples. This is the invariant `radio-lab merge` stands on.
+    #[test]
+    fn shard_merge_equals_single_fold_bitwise(
+        seed in 0u64..1_000_000,
+        len in 1usize..400,
+        shards in 1usize..12,
+        scale in 1.0f64..1e6,
+    ) {
+        let xs = random_values(seed, len, scale);
+        let mut whole = StreamingSummary::new();
+        xs.iter().for_each(|&x| whole.push(x));
+        // Contiguous balanced shard slices, like checkpoint::shard_range.
+        let parts: Vec<StreamingSummary> = (0..shards)
+            .map(|i| {
+                let (lo, hi) = (i * len / shards, (i + 1) * len / shards);
+                let mut s = StreamingSummary::new();
+                xs[lo..hi].iter().for_each(|&x| s.push(x));
+                s
+            })
+            .collect();
+        // Left fold: ((s0 ∪ s1) ∪ s2) ∪ …
+        let mut left = StreamingSummary::new();
+        parts.iter().for_each(|p| left.merge(p));
+        // Right-leaning: s0 ∪ (s1 ∪ (s2 ∪ …)).
+        let mut right = StreamingSummary::new();
+        for p in parts.iter().rev() {
+            let mut tail = p.clone();
+            tail.merge(&right);
+            right = tail;
+        }
+        for (label, merged) in [("left", &left), ("right", &right)] {
+            prop_assert_eq!(merged.count(), whole.count(), "{} nesting", label);
+            prop_assert_eq!(
+                merged.mean().to_bits(), whole.mean().to_bits(), "{} nesting", label
+            );
+            if whole.count() >= 2 {
+                prop_assert_eq!(
+                    merged.variance().to_bits(), whole.variance().to_bits(),
+                    "{} nesting", label
+                );
+            }
+            prop_assert_eq!(merged.min().to_bits(), whole.min().to_bits());
+            prop_assert_eq!(merged.max().to_bits(), whole.max().to_bits());
+            for q in [0.5, 0.9, 0.99] {
+                prop_assert_eq!(
+                    merged.quantile(q).to_bits(), whole.quantile(q).to_bits(),
+                    "{} nesting, q={}", label, q
+                );
+            }
+        }
+    }
+
+    /// Accumulators survive a serialize/deserialize round-trip
+    /// bit-for-bit and keep folding identically afterwards — what a
+    /// checkpointed sweep's restore relies on.
+    #[test]
+    fn summary_roundtrips_through_serde_and_keeps_folding(
+        seed in 0u64..1_000_000,
+        len in 0usize..300,
+        extra in 1usize..50,
+        scale in 1.0f64..1e6,
+    ) {
+        let xs = random_values(seed, len + extra, scale);
+        let mut s = StreamingSummary::new();
+        xs[..len].iter().for_each(|&x| s.push(x));
+        let json = serde_json::to_string(&s).expect("summary serializes");
+        let mut restored: StreamingSummary =
+            serde_json::from_str(&json).expect("summary parses");
+        prop_assert_eq!(&restored, &s);
+        // Continue both folds: they must stay indistinguishable.
+        for &x in &xs[len..] {
+            s.push(x);
+            restored.push(x);
+        }
+        prop_assert_eq!(&restored, &s);
+        prop_assert_eq!(restored.quantile(0.9).to_bits(), s.quantile(0.9).to_bits());
+    }
+
     /// Past the exact cap the collapsed P² percentile stays a sane
     /// estimate, and ordered chunked merges reproduce the sequential feed
     /// bit-for-bit (the collapse replays arrival order).

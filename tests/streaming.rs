@@ -1,17 +1,23 @@
-//! Golden tests of the streaming execution pipeline (PR 4): a chunked
-//! sweep through [`radio_bench::sink::StreamAggregate`] must reproduce
-//! the materialized [`radio_bench::scenario::run_spec`] +
-//! `RenderKind::Aggregate` table **byte for byte** at every chunk size,
-//! and the JSONL record log must round-trip losslessly. Any drift in the
-//! chunked planner (`unit_at`), the sink ordering, or the aggregation
-//! fold fails here first.
+//! Golden tests of the streaming execution pipeline (PR 4) and its
+//! resumable/sharded extension (PR 5): a chunked sweep through
+//! [`radio_bench::sink::StreamAggregate`] must reproduce the
+//! materialized [`radio_bench::scenario::run_spec`] +
+//! `RenderKind::Aggregate` table **byte for byte** at every chunk size;
+//! the JSONL record log must round-trip losslessly; a sweep interrupted
+//! at **any** chunk boundary and resumed from its serialized snapshot,
+//! and a sweep split into shards then merged in shard order, must both
+//! be byte-identical to the uninterrupted run. Any drift in the chunked
+//! planner (`unit_at`), the sink ordering, the aggregation fold, or the
+//! snapshot round-trip fails here first.
 
 use radio_bench::aggregate::{
-    AggregateSpec, GroupKey, MetricSource, MetricSpec, Normalizer, Reduction, SlopeAxis, SlopeSpec,
+    AggregateSnapshot, AggregateSpec, GroupKey, MetricSource, MetricSpec, Normalizer, Reduction,
+    SlopeAxis, SlopeSpec,
 };
+use radio_bench::checkpoint::{merge_partials, shard_range, spec_fingerprint, ShardRef};
 use radio_bench::scenario::{
-    render, run_spec, run_spec_streaming, NestOrder, RenderKind, ScenarioSpec, SeedPolicy,
-    StopCondition, TopologyEntry, Workload, WorkloadEntry,
+    render, run_spec, run_spec_streaming, run_spec_streaming_range, NestOrder, RenderKind,
+    ScenarioSpec, SeedPolicy, StopCondition, TopologyEntry, Workload, WorkloadEntry,
 };
 use radio_bench::sink::{JsonlWriter, Materialize, RecordSink, StreamAggregate};
 use radio_sim::spec::{AdversaryKind, TopologyKind};
@@ -165,6 +171,130 @@ fn tee_of_aggregate_and_jsonl_shares_one_execution() {
     }
     assert_eq!(agg.table(&spec).render(), materialized.render());
     assert_eq!(log.lines(), spec.grid_size() as u64);
+}
+
+#[test]
+fn range_slices_concatenate_to_the_full_sweep() {
+    // Consecutive range slices must reproduce the whole sweep exactly —
+    // the primitive resume and sharding stand on.
+    let spec = e1_style_spec();
+    let total = spec.grid_size() as u64;
+    let mut reference = Materialize::new();
+    run_spec_streaming(&spec, 4, &mut [&mut reference]).expect("no I/O");
+    for cuts in [vec![0, total], vec![0, 1, total], vec![0, 5, 6, 13, total]] {
+        let mut sliced = Materialize::new();
+        for pair in cuts.windows(2) {
+            run_spec_streaming_range(&spec, 4, pair[0]..pair[1], &mut [&mut sliced])
+                .expect("no I/O");
+        }
+        assert_eq!(
+            sliced.clone().into_run(0.0).records,
+            reference.clone().into_run(0.0).records,
+            "cuts {cuts:?}"
+        );
+    }
+}
+
+/// Simulates a kill at one chunk boundary: stream the prefix, serialize
+/// the aggregate snapshot and JSONL bytes to "disk" (a JSON string — the
+/// same round-trip a checkpoint file takes), drop everything, restore,
+/// and stream the rest.
+fn interrupt_and_resume(
+    spec: &ScenarioSpec,
+    chunk: u64,
+    boundary: u64,
+) -> (String, String, Vec<u8>) {
+    let total = spec.grid_size() as u64;
+    // Phase 1: run [0, boundary), checkpoint, forget.
+    let mut agg = StreamAggregate::for_spec(spec);
+    let mut log = JsonlWriter::new(Vec::new());
+    run_spec_streaming_range(spec, chunk, 0..boundary, &mut [&mut agg, &mut log]).expect("no I/O");
+    let snapshot_json = serde_json::to_string(&agg.snapshot()).expect("snapshot serializes");
+    let durable_jsonl = log.finish().expect("Vec flush");
+    drop(agg);
+    // Phase 2: restore from the serialized state and run [boundary, end).
+    let snap: AggregateSnapshot = serde_json::from_str(&snapshot_json).expect("snapshot parses");
+    let mut agg = StreamAggregate::restore_for_spec(spec, snap).expect("shape matches");
+    let mut log = JsonlWriter::resume(durable_jsonl, 0);
+    run_spec_streaming_range(spec, chunk, boundary..total, &mut [&mut agg, &mut log])
+        .expect("no I/O");
+    let table = agg.table(spec);
+    (table.render(), table.to_csv(), log.finish().expect("flush"))
+}
+
+#[test]
+fn resume_at_every_chunk_boundary_is_byte_identical() {
+    let spec = e1_style_spec();
+    let total = spec.grid_size() as u64;
+    // Uninterrupted reference: table, CSV, and JSONL bytes.
+    let mut agg = StreamAggregate::for_spec(&spec);
+    let mut log = JsonlWriter::new(Vec::new());
+    run_spec_streaming(&spec, 5, &mut [&mut agg, &mut log]).expect("no I/O");
+    let (ref_table, ref_csv) = (agg.table(&spec).render(), agg.table(&spec).to_csv());
+    let ref_jsonl = log.finish().expect("flush");
+    // Kill at every chunk boundary, for chunk sizes including
+    // non-divisors of the 18-unit grid.
+    for chunk in [1u64, 2, 5, 7, 18] {
+        let mut boundary = 0u64;
+        while boundary <= total {
+            let (table, csv, jsonl) = interrupt_and_resume(&spec, chunk, boundary);
+            assert_eq!(table, ref_table, "chunk {chunk}, boundary {boundary}");
+            assert_eq!(csv, ref_csv, "chunk {chunk}, boundary {boundary}");
+            assert_eq!(jsonl, ref_jsonl, "chunk {chunk}, boundary {boundary}");
+            boundary = total.min(boundary + chunk);
+            if boundary == total {
+                let (table, _, _) = interrupt_and_resume(&spec, chunk, boundary);
+                assert_eq!(table, ref_table, "chunk {chunk}, boundary {boundary}");
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn shard_merge_is_byte_identical_for_both_nestings_and_many_shard_counts() {
+    for nest in [NestOrder::TopologyMajor, NestOrder::WorkloadMajor] {
+        let mut spec = e1_style_spec();
+        spec.nest = nest;
+        let total = spec.grid_size() as u64;
+        let mut agg = StreamAggregate::for_spec(&spec);
+        let mut log = JsonlWriter::new(Vec::new());
+        run_spec_streaming(&spec, 4, &mut [&mut agg, &mut log]).expect("no I/O");
+        let ref_table = agg.table(&spec).render();
+        let ref_jsonl = log.finish().expect("flush");
+        for count in [1u64, 2, 3, 5, 7, total] {
+            // Run each shard independently, then fold partials in order.
+            let mut partials = Vec::new();
+            let mut shard_jsonl = Vec::new();
+            for index in 0..count {
+                let range = shard_range(total, ShardRef { index, count });
+                let mut agg = StreamAggregate::for_spec(&spec);
+                let mut log = JsonlWriter::new(Vec::new());
+                run_spec_streaming_range(&spec, 4, range.clone(), &mut [&mut agg, &mut log])
+                    .expect("no I/O");
+                partials.push(radio_bench::checkpoint::ShardPartial {
+                    schema: radio_bench::checkpoint::PARTIAL_SCHEMA.to_string(),
+                    fingerprint: spec_fingerprint(&spec),
+                    shard: ShardRef { index, count },
+                    start: range.start,
+                    end: range.end,
+                    records: log.lines(),
+                    wall_s: 0.0,
+                    records_path: None,
+                    spec: spec.clone(),
+                    aggregate: agg.snapshot(),
+                });
+                shard_jsonl.extend(log.finish().expect("flush"));
+            }
+            let merged = merge_partials(partials).expect("consistent partials");
+            assert_eq!(
+                merged.agg.table(&merged.spec).render(),
+                ref_table,
+                "{nest:?}, {count} shards"
+            );
+            assert_eq!(shard_jsonl, ref_jsonl, "{nest:?}, {count} shards");
+        }
+    }
 }
 
 #[test]

@@ -120,6 +120,19 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError(::std::format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                ::std::stringify!($a),
+                ::std::stringify!($b),
+                left,
+                right,
+                ::std::format!($($fmt)+),
+            )));
+        }
+    }};
 }
 
 /// Asserts inequality inside a proptest case.
