@@ -77,7 +77,7 @@ use radio_bench::checkpoint::{
 use radio_bench::scenario::{
     registry, render, run_spec, run_spec_streaming, RenderKind, ScenarioRun, ScenarioSpec,
 };
-use radio_bench::sink::{JsonlWriter, RecordSink, StreamAggregate};
+use radio_bench::sink::{JsonlWriter, RecordSink, SinkFile, StreamAggregate};
 use radio_bench::{spec_fingerprint, Table, ThreadPool};
 use serde::Serialize;
 use std::io::BufWriter;
@@ -115,6 +115,8 @@ const USAGE: &str = "usage: radio-lab [SPEC.json | e1..e11 | --all] [--quick|--f
 [--checkpoint PATH [--resume]] [--shard I/M]\n\
        radio-lab merge PART.partial... [--out PATH] [--csv PATH] \
 [--records PATH.jsonl] [--json]\n\
+       radio-lab serve|work|status ... (fault-tolerant multi-process \
+sweep service; see radio-lab serve --help)\n\
 \n\
 SPEC.json is a ScenarioSpec; give it \"render\": \"Aggregate\" (or an\n\
 \"aggregate\" block with group_by keys and metric reductions) for a\n\
@@ -248,6 +250,11 @@ fn write_report(report: &LabReport, out_path: &str) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The serve family (serve/work/status) owns its own flag grammar —
+    // dispatch on the first positional before the classic parser runs.
+    if let Some(code) = radio_bench::serve::cli::dispatch(&args) {
+        std::process::exit(code);
+    }
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{USAGE}");
         return;
@@ -630,7 +637,10 @@ fn run_checkpointed(
                     .append(true)
                     .open(path)
                     .unwrap_or_else(|e| fail(&format!("cannot append to {path}: {e}")));
-                Some(JsonlWriter::resume(BufWriter::new(file), lines))
+                Some(JsonlWriter::resume(
+                    BufWriter::new(SinkFile::new(file)),
+                    lines,
+                ))
             }
             _ => None,
         };
@@ -655,7 +665,7 @@ fn run_checkpointed(
         jsonl = records_path.map(|path| {
             let file = std::fs::File::create(path)
                 .unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}")));
-            JsonlWriter::new(BufWriter::new(file))
+            JsonlWriter::new(BufWriter::new(SinkFile::new(file)))
         });
         agg = StreamAggregate::for_spec(spec);
         todo_start = bounds.start;
@@ -687,6 +697,7 @@ fn run_checkpointed(
                 base_wall_s,
                 checkpoint_path: checkpoint_path.map(Path::new),
                 limit_chunks,
+                on_chunk: None,
             },
             &mut agg,
             jsonl.as_mut(),

@@ -62,13 +62,60 @@
 use crate::aggregate::AggregateSnapshot;
 use crate::parallel::run_trials_chunked_range;
 use crate::scenario::{run_unit, ScenarioSpec};
-use crate::sink::{JsonlWriter, RecordSink, StreamAggregate};
+use crate::sink::{JsonlWriter, RecordSink, SinkFile, StreamAggregate};
 use serde::{Deserialize, Serialize};
 use std::fs::File;
 use std::io::{self, BufRead, BufWriter, Write};
 use std::ops::Range;
 use std::path::Path;
 use std::time::Instant;
+
+/// Fsyncs the directory holding `path`, making a just-renamed entry
+/// durable: on POSIX filesystems a rename only survives power loss once
+/// the *directory* is synced, not just the file. A `path` with no parent
+/// component syncs the current directory.
+///
+/// # Errors
+///
+/// Surfaces the open or `fsync` error.
+pub fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()
+}
+
+/// Writes `bytes` to `path` **atomically and durably**: the bytes land in
+/// a uniquely-named sibling temp file, are fsynced, the temp renames over
+/// `path`, and the containing directory is fsynced. A crash at any moment
+/// leaves either the old file or the new one — never a torn mix — and
+/// once this returns the new content survives power loss, not just
+/// process death. The temp name embeds the process id so concurrent
+/// writers (the sweep-service worker fleet renaming over shared claim
+/// files) never clobber each other's in-flight temp.
+///
+/// # Errors
+///
+/// Surfaces the underlying filesystem errors; the temp file is removed on
+/// a failed rename.
+pub fn write_durable_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("durable");
+    let tmp = path.with_file_name(format!(".{name}.tmp{}", std::process::id()));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    sync_parent_dir(path)
+}
 
 /// Schema id of [`SweepCheckpoint`] files.
 pub const CHECKPOINT_SCHEMA: &str = "radio-lab/checkpoint/v1";
@@ -171,9 +218,10 @@ pub struct SweepCheckpoint {
 }
 
 impl SweepCheckpoint {
-    /// Writes the checkpoint **atomically**: the JSON lands in
-    /// `<path>.tmp` and renames over `path`, so a crash mid-write leaves
-    /// the previous checkpoint intact rather than a torn file.
+    /// Writes the checkpoint **atomically and durably**
+    /// ([`write_durable_atomic`]): temp file + fsync + rename + directory
+    /// fsync, so a crash mid-write leaves the previous checkpoint intact
+    /// and a completed save survives power loss, not just process death.
     ///
     /// # Errors
     ///
@@ -181,9 +229,7 @@ impl SweepCheckpoint {
     pub fn save(&self, path: &Path) -> io::Result<()> {
         let json = serde_json::to_string_pretty(self)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, json)?;
-        std::fs::rename(&tmp, path)
+        write_durable_atomic(path, json.as_bytes())
     }
 
     /// Reads a checkpoint back, verifying the schema id.
@@ -346,8 +392,10 @@ pub fn truncate_jsonl_to_lines(path: &Path, lines: u64) -> io::Result<JsonlTrunc
 }
 
 /// The record-log sink type the checkpointed runner drives: a JSONL
-/// writer over a buffered file.
-pub type FileJsonl = JsonlWriter<BufWriter<File>>;
+/// writer over a buffered [`SinkFile`] (a plain file in production; the
+/// chaos harness can arm its [`crate::sink::FaultTrip`] to inject
+/// deterministic write failures).
+pub type FileJsonl = JsonlWriter<BufWriter<SinkFile>>;
 
 /// How a [`run_slice_checkpointed`] call ended.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -363,6 +411,16 @@ pub struct SliceRun {
     /// (the checkpoint, if configured, records `next_index`).
     pub interrupted: bool,
 }
+
+/// The chunk-boundary callback a [`SliceJob`] may carry: invoked after
+/// every durable chunk with `(next_index, chunks_done)` — `next_index` is
+/// the first grid index not yet executed and `chunks_done` counts this
+/// invocation's completed chunks (1-based). By the time the hook runs the
+/// chunk's sinks have flushed and the checkpoint (if configured) has
+/// landed, so the hook is the safe place for the sweep service's
+/// heartbeat refresh, lease fencing, and fault injection. A hook error
+/// aborts the sweep like a sink error would.
+pub type ChunkHook<'a> = &'a mut dyn FnMut(u64, u64) -> io::Result<()>;
 
 /// What [`run_slice_checkpointed`] executes: the spec, the pending and
 /// overall index ranges, the durability targets, and the counters carried
@@ -388,6 +446,8 @@ pub struct SliceJob<'a> {
     /// Testing hook: stop cleanly after this many chunks, leaving the
     /// checkpoint behind — a kill at an exact chunk boundary.
     pub limit_chunks: Option<u64>,
+    /// Chunk-boundary callback (`None` = no hook); see [`ChunkHook`].
+    pub on_chunk: Option<ChunkHook<'a>>,
 }
 
 /// Executes the still-pending indices of a [`SliceJob`], folding into
@@ -425,6 +485,7 @@ pub fn run_slice_checkpointed(
         base_wall_s,
         checkpoint_path,
         limit_chunks,
+        mut on_chunk,
     } = job;
     assert!(
         bounds.start <= todo.start && todo.end == bounds.end,
@@ -456,9 +517,15 @@ pub fn run_slice_checkpointed(
                     log.accept(spec, unit, recs)?;
                 }
             }
-            // Durability order: sinks flush, then the checkpoint lands.
+            // Durability order: sinks flush (and, when a checkpoint will
+            // reference them, fsync), then the checkpoint lands — so the
+            // checkpoint never records a line count that could vanish in
+            // a power loss.
             if let Some(log) = jsonl.as_deref_mut() {
                 log.flush_chunk()?;
+                if checkpoint_path.is_some() {
+                    log.sync_data()?;
+                }
             }
             next_index = window_start + window.len() as u64;
             if let Some(path) = checkpoint_path {
@@ -477,6 +544,9 @@ pub fn run_slice_checkpointed(
                 .save(path)?;
             }
             chunks_done += 1;
+            if let Some(hook) = on_chunk.as_deref_mut() {
+                hook(next_index, chunks_done)?;
+            }
             if limit_chunks == Some(chunks_done) && next_index < bounds.end {
                 hit_limit = true;
                 return Err(io::Error::new(interrupted, "chunk limit reached"));
@@ -546,7 +616,8 @@ pub struct ShardPartial {
 }
 
 impl ShardPartial {
-    /// Writes the partial artifact (atomically, like a checkpoint).
+    /// Writes the partial artifact (atomically and durably, like a
+    /// checkpoint — [`write_durable_atomic`]).
     ///
     /// # Errors
     ///
@@ -554,9 +625,7 @@ impl ShardPartial {
     pub fn save(&self, path: &Path) -> io::Result<()> {
         let json = serde_json::to_string_pretty(self)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, json)?;
-        std::fs::rename(&tmp, path)
+        write_durable_atomic(path, json.as_bytes())
     }
 
     /// Reads a partial back, verifying the schema id.
@@ -843,6 +912,130 @@ mod tests {
         assert!(!rep.torn_tail);
         // Fewer durable lines than the checkpoint claims: refuse.
         assert!(truncate_jsonl_to_lines(&path, 5).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sink_error_surfaces_without_advancing_checkpoint() {
+        use crate::sink::{FaultTrip, SinkFile, INJECTED_SINK_ERROR};
+        use std::io::BufWriter;
+
+        let dir = scratch("sinkerr");
+        let spec = spec();
+        let total = spec.grid_size() as u64;
+        let ref_cp = dir.join("ref.ckpt");
+        let cp = dir.join("cp.json");
+
+        // Reference: the same slice, uninterrupted.
+        let ref_jsonl = dir.join("ref.jsonl");
+        let mut ref_agg = StreamAggregate::for_spec(&spec);
+        let mut ref_log = JsonlWriter::new(BufWriter::new(SinkFile::new(
+            std::fs::File::create(&ref_jsonl).expect("creates"),
+        )));
+        run_slice_checkpointed(
+            SliceJob {
+                spec: &spec,
+                chunk: 2,
+                todo: 0..total,
+                bounds: 0..total,
+                shard: None,
+                base_records: 0,
+                base_wall_s: 0.0,
+                checkpoint_path: Some(&ref_cp),
+                limit_chunks: None,
+                on_chunk: None,
+            },
+            &mut ref_agg,
+            Some(&mut ref_log),
+        )
+        .expect("reference runs");
+        ref_log.finish().expect("finishes");
+
+        // Faulted run: arm the trip at the first chunk boundary, so the
+        // second chunk's record-log flush fails mid-sweep.
+        let jsonl_path = dir.join("out.jsonl");
+        let trip = FaultTrip::new();
+        let mut agg = StreamAggregate::for_spec(&spec);
+        let mut log = JsonlWriter::new(BufWriter::new(SinkFile::with_trip(
+            std::fs::File::create(&jsonl_path).expect("creates"),
+            trip.clone(),
+        )));
+        let mut arm = |_next: u64, chunks_done: u64| {
+            if chunks_done == 1 {
+                trip.arm();
+            }
+            Ok(())
+        };
+        let err = run_slice_checkpointed(
+            SliceJob {
+                spec: &spec,
+                chunk: 2,
+                todo: 0..total,
+                bounds: 0..total,
+                shard: None,
+                base_records: 0,
+                base_wall_s: 0.0,
+                checkpoint_path: Some(&cp),
+                limit_chunks: None,
+                on_chunk: Some(&mut arm),
+            },
+            &mut agg,
+            Some(&mut log),
+        )
+        .expect_err("armed trip must surface as the sweep error");
+        assert!(
+            err.to_string().contains(INJECTED_SINK_ERROR),
+            "unexpected error: {err}"
+        );
+        drop(log);
+
+        // The checkpoint still describes the last durable chunk — the
+        // failed chunk never advanced it.
+        let back = SweepCheckpoint::load(&cp).expect("checkpoint survives the fault");
+        assert_eq!(back.next_index, 2, "failed chunk must not advance");
+        let lines = back.jsonl_lines.expect("log line count recorded");
+
+        // Resume with a healthy sink: truncate to the durable prefix,
+        // restore, finish — byte-identical to the uninterrupted run.
+        truncate_jsonl_to_lines(&jsonl_path, lines).expect("truncates to durable prefix");
+        let mut agg = StreamAggregate::restore_for_spec(&spec, back.aggregate.clone())
+            .map_err(io::Error::other)
+            .expect("accumulator restores");
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&jsonl_path)
+            .expect("reopens");
+        let mut log = JsonlWriter::resume(BufWriter::new(SinkFile::new(file)), lines);
+        let run = run_slice_checkpointed(
+            SliceJob {
+                spec: &spec,
+                chunk: 2,
+                todo: back.next_index..total,
+                bounds: 0..total,
+                shard: None,
+                base_records: back.records,
+                base_wall_s: 0.0,
+                checkpoint_path: Some(&cp),
+                limit_chunks: None,
+                on_chunk: None,
+            },
+            &mut agg,
+            Some(&mut log),
+        )
+        .expect("resumes");
+        log.finish().expect("finishes");
+        assert_eq!(run.records, total);
+        assert!(!cp.exists(), "completed run consumes its checkpoint");
+        assert_eq!(
+            std::fs::read(&jsonl_path).expect("reads"),
+            std::fs::read(&ref_jsonl).expect("reads"),
+            "resumed record log must match the uninterrupted run byte-for-byte"
+        );
+        assert_eq!(
+            agg.table(&spec).render(),
+            ref_agg.table(&spec).render(),
+            "resumed table must match the uninterrupted run"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -19,6 +19,7 @@ pub mod enginebench;
 pub mod experiments;
 pub mod parallel;
 pub mod scenario;
+pub mod serve;
 pub mod sink;
 pub mod stats;
 pub mod table;
@@ -35,5 +36,6 @@ pub use scenario::{
     render, run_spec, run_spec_streaming, run_spec_streaming_range, ScenarioRun, ScenarioSpec,
     StreamStats,
 };
+pub use serve::{run_serve, run_worker, FaultPlan, ServeConfig, WorkerConfig};
 pub use sink::{JsonlWriter, Materialize, RecordSink, StreamAggregate};
 pub use table::Table;

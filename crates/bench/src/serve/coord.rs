@@ -1,0 +1,332 @@
+//! The coordinator: submit, supervise, merge.
+//!
+//! `radio-lab serve` owns a sweep end to end: it submits every spec to
+//! a fresh spool ([`super::spool::submit_spec`]), spawns the worker
+//! fleet (each worker is a `radio-lab work` child process — real
+//! process isolation, so a SIGKILL in a chaos test is a *real* kill,
+//! not a simulation), and then supervises: every poll tick it reaps
+//! exited children, respawns crashed workers while the respawn budget
+//! lasts, and rewrites each spec's advisory `status.json`.
+//!
+//! The coordinator never computes: when every spec is terminal it folds
+//! the published partials with the same [`merge_partials`] the
+//! `radio-lab merge` command uses, so the final table/CSV/JSONL is
+//! byte-identical to the uninterrupted single-process `--stream` run —
+//! that identity is the service's whole contract, and the chaos tests
+//! `cmp` it. A spec whose shard exhausted its retries degrades instead:
+//! its preview table (caption marked
+//! [`super::spool::INCOMPLETE_MARKER`]) is reported, no CSV/JSONL
+//! artifacts are written for it, and the serve exit code becomes 3.
+
+use super::fault::FAULT_PLAN_ENV;
+use super::spool::{
+    list_specs, load_partials, merged_preview, scan_spec, spec_status, submit_spec, write_status,
+    SpecDir, SpecPhase, SubmitConfig,
+};
+use crate::checkpoint::merge_partials;
+use crate::scenario::ScenarioSpec;
+use crate::table::Table;
+use std::io;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, SystemTime};
+
+/// How a serve run is shaped: the spool, the fleet, and the per-spec
+/// run parameters every submission fixes.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The spool directory (created; must not already hold a queue).
+    pub spool: PathBuf,
+    /// Worker processes to spawn.
+    pub workers: u64,
+    /// Shards per spec.
+    pub shards: u64,
+    /// Chunk size per shard.
+    pub chunk: u64,
+    /// Lease deadline in milliseconds.
+    pub lease_ms: u64,
+    /// Supervision poll interval in milliseconds.
+    pub poll_ms: u64,
+    /// Failures allowed per shard before it exhausts.
+    pub max_retries: u64,
+    /// Retry backoff base in milliseconds.
+    pub backoff_ms: u64,
+    /// Thread-pool width each worker uses (workers are processes, so
+    /// the default of 1 keeps an m-worker fleet at m cores).
+    pub worker_threads: usize,
+    /// Crashed-worker respawns allowed across the whole run.
+    pub max_respawns: u64,
+    /// Fault-plan file forwarded to workers via [`FAULT_PLAN_ENV`].
+    pub fault_plan_path: Option<String>,
+    /// Whether shards write record logs (for a merged `--records`).
+    pub records: bool,
+}
+
+impl ServeConfig {
+    /// A config with this module's defaults (2 workers, 1 shard per
+    /// worker, chunk 256, 5 s lease, 25 ms poll, 3 retries, 100 ms
+    /// backoff base, 1 thread per worker, 4 respawns, no faults, no
+    /// record logs).
+    pub fn new(spool: PathBuf) -> ServeConfig {
+        ServeConfig {
+            spool,
+            workers: 2,
+            shards: 2,
+            chunk: 256,
+            lease_ms: 5_000,
+            poll_ms: 25,
+            max_retries: 3,
+            backoff_ms: 100,
+            worker_threads: 1,
+            max_respawns: 4,
+            fault_plan_path: None,
+            records: false,
+        }
+    }
+}
+
+/// One spec's final standing after the fleet drained the queue.
+pub struct SpecOutcome {
+    /// The spec, as submitted.
+    pub spec: ScenarioSpec,
+    /// `Complete` or `Degraded` (never `Active` — the run only ends
+    /// when every spec is terminal).
+    pub phase: SpecPhase,
+    /// The final table (`Complete`: byte-identical to the uninterrupted
+    /// run) or the preview (`Degraded`: caption carries the INCOMPLETE
+    /// marker). `None` only for a degraded spec with no partials at
+    /// all.
+    pub table: Option<Table>,
+    /// Shard record-log paths in shard order — `Some` only when the
+    /// spec completed with record logs enabled (the caller concatenates
+    /// them into the merged JSONL).
+    pub records_paths: Option<Vec<Option<String>>>,
+    /// Grid units covered by the published partials.
+    pub units: u64,
+    /// Records across the published partials.
+    pub records: u64,
+    /// Summed shard wall-clock seconds (shards ran concurrently).
+    pub wall_s: f64,
+    /// Shards published.
+    pub shards_done: u64,
+    /// Shard count.
+    pub shards_total: u64,
+}
+
+/// What a serve run produced.
+pub struct ServeOutcome {
+    /// Per-spec outcomes, in queue order.
+    pub specs: Vec<SpecOutcome>,
+    /// Whether any spec degraded (the CLI exits 3).
+    pub degraded: bool,
+    /// Crashed-worker respawns used.
+    pub respawns: u64,
+}
+
+/// Spawns one worker child. Workers inherit stderr (their progress
+/// interleaves with the coordinator's) but write nothing to stdout —
+/// stdout is reserved for the final tables, which must stay
+/// byte-comparable to the single-process run.
+fn spawn_worker(cfg: &ServeConfig, id: &str) -> io::Result<Child> {
+    let exe = std::env::current_exe()?;
+    let mut cmd = Command::new(exe);
+    cmd.arg("work")
+        .arg("--spool")
+        .arg(&cfg.spool)
+        .arg("--worker-id")
+        .arg(id)
+        .arg("--poll-ms")
+        .arg(cfg.poll_ms.to_string())
+        .arg("--threads")
+        .arg(cfg.worker_threads.to_string())
+        .stdin(Stdio::null())
+        .stdout(Stdio::null());
+    if let Some(plan) = &cfg.fault_plan_path {
+        cmd.env(FAULT_PLAN_ENV, plan);
+    }
+    cmd.spawn()
+}
+
+/// Runs a full serve: submit `specs`, spawn the fleet, supervise until
+/// every spec is terminal, then merge. See the module docs for the
+/// degradation and byte-identity contracts.
+///
+/// # Errors
+///
+/// Surfaces spool I/O errors, a non-empty pre-existing spool, and the
+/// fleet dying entirely with work remaining and no respawn budget left
+/// (otherwise the run would hang forever).
+pub fn run_serve(cfg: &ServeConfig, specs: &[ScenarioSpec]) -> io::Result<ServeOutcome> {
+    std::fs::create_dir_all(&cfg.spool)?;
+    if !list_specs(&cfg.spool)?.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::AlreadyExists,
+            format!(
+                "{}: spool already holds a queue — point --spool at a fresh directory",
+                cfg.spool.display()
+            ),
+        ));
+    }
+    let submit = SubmitConfig {
+        shards: cfg.shards,
+        chunk: cfg.chunk,
+        lease_ms: cfg.lease_ms,
+        max_retries: cfg.max_retries,
+        backoff_ms: cfg.backoff_ms,
+        records: cfg.records,
+    };
+    let dirs: Vec<SpecDir> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| submit_spec(&cfg.spool, i as u64, spec, &submit))
+        .collect::<io::Result<_>>()?;
+    eprintln!(
+        "serve: {} spec(s) submitted to {} ({} shards each, chunk {}, lease {}ms)",
+        dirs.len(),
+        cfg.spool.display(),
+        cfg.shards,
+        cfg.chunk,
+        cfg.lease_ms
+    );
+
+    let mut children: Vec<(String, Child)> = Vec::new();
+    for k in 0..cfg.workers {
+        let id = format!("w{k}");
+        children.push((id.clone(), spawn_worker(cfg, &id)?));
+    }
+    eprintln!("serve: {} worker(s) spawned", children.len());
+
+    let mut next_worker = cfg.workers;
+    let mut respawns_left = cfg.max_respawns;
+    let mut respawns_used = 0u64;
+    let mut last_done: Vec<u64> = vec![u64::MAX; dirs.len()];
+    loop {
+        // Reap exits. A worker exits cleanly only when every spec is
+        // terminal, so any exit while work remains was a crash.
+        let mut alive = Vec::new();
+        for (id, mut child) in children {
+            match child.try_wait()? {
+                Some(status) if status.success() => {
+                    eprintln!("serve: worker {id} finished");
+                }
+                Some(status) => {
+                    eprintln!("serve: worker {id} died ({status})");
+                }
+                None => alive.push((id, child)),
+            }
+        }
+        children = alive;
+
+        // Scan, publish status, report shard completions.
+        let mut all_terminal = true;
+        for (k, sd) in dirs.iter().enumerate() {
+            let manifest = sd.load_manifest()?;
+            let scan = scan_spec(sd, &manifest, SystemTime::now())?;
+            write_status(sd, &spec_status(&manifest, &scan))?;
+            let done = scan.done();
+            if done != last_done[k] {
+                eprintln!(
+                    "serve: {}: {done}/{} shard(s) done",
+                    manifest.spec_id, manifest.shards
+                );
+                last_done[k] = done;
+            }
+            if scan.phase == SpecPhase::Active {
+                all_terminal = false;
+            }
+        }
+        if all_terminal {
+            break;
+        }
+
+        // Keep the fleet at strength while the respawn budget lasts;
+        // a fully-dead fleet with no budget would hang forever, so it
+        // errors instead.
+        while (children.len() as u64) < cfg.workers && respawns_left > 0 {
+            let id = format!("w{next_worker}");
+            next_worker += 1;
+            respawns_left -= 1;
+            respawns_used += 1;
+            eprintln!("serve: respawning as worker {id} ({respawns_left} respawn(s) left)");
+            children.push((id.clone(), spawn_worker(cfg, &id)?));
+        }
+        if children.is_empty() {
+            return Err(io::Error::other(format!(
+                "all workers exited with work remaining and the respawn budget ({}) spent — \
+                 giving up; the spool at {} keeps all progress",
+                cfg.max_respawns,
+                cfg.spool.display()
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(cfg.poll_ms));
+    }
+
+    // Every spec is terminal: the remaining workers see that and exit
+    // on their own within one poll interval.
+    for (id, mut child) in children {
+        let status = child.wait()?;
+        if !status.success() {
+            eprintln!("serve: worker {id} died at the finish line ({status})");
+        }
+    }
+
+    // Merge. Complete specs use the strict merge (byte-identity);
+    // degraded specs get the clearly-marked preview.
+    let mut outcomes = Vec::with_capacity(dirs.len());
+    let mut degraded = false;
+    for sd in &dirs {
+        let manifest = sd.load_manifest()?;
+        let scan = scan_spec(sd, &manifest, SystemTime::now())?;
+        write_status(sd, &spec_status(&manifest, &scan))?;
+        let spec = sd.load_spec()?;
+        let partials = load_partials(sd, &manifest)?;
+        let units: u64 = partials.iter().map(|p| p.end - p.start).sum();
+        let records: u64 = partials.iter().map(|p| p.records).sum();
+        let wall_s: f64 = partials.iter().map(|p| p.wall_s).sum();
+        let shards_done = partials.len() as u64;
+        let outcome = match scan.phase {
+            SpecPhase::Complete => {
+                let merged = merge_partials(partials)?;
+                let table = merged.agg.table(&merged.spec);
+                SpecOutcome {
+                    spec,
+                    phase: SpecPhase::Complete,
+                    table: Some(table),
+                    records_paths: manifest.records.then_some(merged.records_paths),
+                    units,
+                    records,
+                    wall_s,
+                    shards_done,
+                    shards_total: manifest.shards,
+                }
+            }
+            SpecPhase::Degraded => {
+                degraded = true;
+                eprintln!(
+                    "serve: {}: DEGRADED — {shards_done}/{} shard(s) published; the table below \
+                     is partial",
+                    manifest.spec_id, manifest.shards
+                );
+                let table = merged_preview(&spec, &partials, manifest.shards)?;
+                SpecOutcome {
+                    spec,
+                    phase: SpecPhase::Degraded,
+                    table,
+                    records_paths: None,
+                    units,
+                    records,
+                    wall_s,
+                    shards_done,
+                    shards_total: manifest.shards,
+                }
+            }
+            SpecPhase::Active => unreachable!("the supervision loop only ends on terminal scans"),
+        };
+        outcomes.push(outcome);
+    }
+    Ok(ServeOutcome {
+        specs: outcomes,
+        degraded,
+        respawns: respawns_used,
+    })
+}

@@ -1,0 +1,252 @@
+//! Deterministic fault injection for the sweep service.
+//!
+//! Chaos testing is only useful when a failing run can be replayed
+//! exactly, so faults here are **data, not randomness**: a [`FaultPlan`]
+//! is a JSON document listing events, each pinned to a coordinate
+//! `(worker, spec, shard, attempt, chunk)` — any component left `null`
+//! matches everything. Workers load the plan from the
+//! [`FAULT_PLAN_ENV`] environment variable (the coordinator forwards its
+//! `--fault-plan` path to every worker it spawns) and consult it at each
+//! chunk boundary, where the sweep state is well-defined: the chunk's
+//! sinks have flushed and its checkpoint has landed.
+//!
+//! Three faults cover the failure modes the service must survive:
+//!
+//! * [`FaultAction::Kill`] — `exit(137)` at the boundary, the
+//!   moral equivalent of a SIGKILL between chunks; with `tear_jsonl`
+//!   it first appends an unterminated JSON fragment to the shard's
+//!   record log, simulating a crash mid-write (the resume path must
+//!   truncate the torn tail away).
+//! * [`FaultAction::StallHeartbeat`] — sleep `stall_ms` before
+//!   heartbeating, so a stall longer than the lease makes another worker
+//!   take the shard over; the stalled worker's next fence check sees the
+//!   new owner and abandons.
+//! * [`FaultAction::SinkError`] — arm the shard's
+//!   [`crate::sink::FaultTrip`], so the next record-log write fails with
+//!   [`crate::sink::INJECTED_SINK_ERROR`]; `at_chunk: 0` arms it before
+//!   the first chunk. This is the bounded-retry / degradation path: the
+//!   failure counts against the shard's `max_retries`.
+//!
+//! Chunk numbering: `at_chunk` is matched against the attempt's 1-based
+//! completed-chunk count, except `0`, which fires before the attempt's
+//! first chunk (only meaningful for `SinkError`).
+
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Environment variable naming the fault-plan JSON file workers load.
+/// Unset (the production case) means no faults.
+pub const FAULT_PLAN_ENV: &str = "RADIO_LAB_FAULT_PLAN";
+
+/// Schema id of fault-plan files.
+pub const FAULT_PLAN_SCHEMA: &str = "radio-lab/fault-plan/v1";
+
+/// What an armed fault does at its chunk boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultAction {
+    /// Exit the worker process with status 137 (the SIGKILL convention);
+    /// `tear_jsonl` first appends an unterminated line to the shard's
+    /// record log, simulating a crash mid-write.
+    Kill {
+        /// Append a torn (unterminated) fragment to the record log
+        /// before dying.
+        tear_jsonl: bool,
+    },
+    /// Sleep this long before refreshing the heartbeat — a stall longer
+    /// than the lease hands the shard to another worker.
+    StallHeartbeat {
+        /// Milliseconds to stall.
+        stall_ms: u64,
+    },
+    /// Arm the shard's sink fault trip: the next record-log write fails,
+    /// surfacing as the attempt's error (bounded retry, then
+    /// degradation).
+    SinkError,
+}
+
+/// One fault, pinned to a coordinate in the fleet × sweep space. `None`
+/// components match anything, so a plan can say "whoever runs shard 2's
+/// attempt 0" or "worker w1, wherever it is".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Worker id to match (`None` = any worker).
+    pub worker: Option<String>,
+    /// Spec id to match (`None` = any spec).
+    pub spec: Option<String>,
+    /// Shard index to match (`None` = any shard).
+    pub shard: Option<u64>,
+    /// Attempt number to match (`None` = any attempt).
+    pub attempt: Option<u64>,
+    /// Chunk boundary to fire at: 1-based completed-chunk count within
+    /// the attempt; `0` fires before the first chunk (sink-error arming
+    /// only).
+    pub at_chunk: u64,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+impl FaultEvent {
+    /// Whether this event applies to the given shard attempt (chunk is
+    /// matched separately, per boundary).
+    pub fn applies_to(&self, worker: &str, spec: &str, shard: u64, attempt: u64) -> bool {
+        self.worker.as_deref().is_none_or(|w| w == worker)
+            && self.spec.as_deref().is_none_or(|s| s == spec)
+            && self.shard.is_none_or(|s| s == shard)
+            && self.attempt.is_none_or(|a| a == attempt)
+    }
+}
+
+/// A reproducible chaos schedule: the list of [`FaultEvent`]s a run
+/// injects. Loaded by workers from [`FAULT_PLAN_ENV`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The literal [`FAULT_PLAN_SCHEMA`].
+    pub schema: String,
+    /// The faults, in no particular order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults), carrying the current schema id.
+    pub fn new() -> Self {
+        FaultPlan {
+            schema: FAULT_PLAN_SCHEMA.to_string(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Reads a plan from a JSON file, verifying the schema id.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces filesystem errors; malformed JSON or an unknown schema
+    /// yield [`io::ErrorKind::InvalidData`].
+    pub fn load(path: &Path) -> io::Result<FaultPlan> {
+        let text = std::fs::read_to_string(path)?;
+        let plan: FaultPlan = serde_json::from_str(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: not a fault plan: {e}", path.display()),
+            )
+        })?;
+        if plan.schema != FAULT_PLAN_SCHEMA {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: unknown fault-plan schema {:?} (expected {FAULT_PLAN_SCHEMA:?})",
+                    path.display(),
+                    plan.schema
+                ),
+            ));
+        }
+        Ok(plan)
+    }
+
+    /// Loads the plan named by [`FAULT_PLAN_ENV`], or `None` when the
+    /// variable is unset (no faults).
+    ///
+    /// # Errors
+    ///
+    /// A set-but-unloadable plan is an error — silently running a chaos
+    /// test without its faults would report vacuous success.
+    pub fn from_env() -> io::Result<Option<FaultPlan>> {
+        match std::env::var(FAULT_PLAN_ENV) {
+            Ok(path) if !path.is_empty() => Ok(Some(FaultPlan::load(Path::new(&path))?)),
+            _ => Ok(None),
+        }
+    }
+
+    /// The events that apply to one shard attempt (the caller matches
+    /// `at_chunk` per boundary).
+    pub fn events_for(
+        &self,
+        worker: &str,
+        spec: &str,
+        shard: u64,
+        attempt: u64,
+    ) -> Vec<&FaultEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.applies_to(worker, spec, shard, attempt))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(worker: Option<&str>, shard: Option<u64>, at_chunk: u64) -> FaultEvent {
+        FaultEvent {
+            worker: worker.map(str::to_string),
+            spec: None,
+            shard,
+            attempt: None,
+            at_chunk,
+            action: FaultAction::SinkError,
+        }
+    }
+
+    #[test]
+    fn wildcards_match_and_pins_filter() {
+        let plan = FaultPlan {
+            schema: FAULT_PLAN_SCHEMA.to_string(),
+            events: vec![
+                event(Some("w0"), None, 2),
+                event(None, Some(1), 3),
+                event(None, None, 1),
+            ],
+        };
+        assert_eq!(plan.events_for("w0", "E1", 0, 0).len(), 2);
+        assert_eq!(plan.events_for("w1", "E1", 0, 0).len(), 1);
+        assert_eq!(plan.events_for("w1", "E1", 1, 5).len(), 2);
+        let pinned = FaultEvent {
+            attempt: Some(1),
+            ..event(None, None, 1)
+        };
+        assert!(pinned.applies_to("w9", "X", 7, 1));
+        assert!(!pinned.applies_to("w9", "X", 7, 0));
+    }
+
+    #[test]
+    fn plan_roundtrips_through_json_and_refuses_bad_schema() {
+        let dir = std::env::temp_dir().join(format!("radio_fault_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let plan = FaultPlan {
+            schema: FAULT_PLAN_SCHEMA.to_string(),
+            events: vec![
+                FaultEvent {
+                    worker: Some("w0".to_string()),
+                    spec: Some("E1".to_string()),
+                    shard: Some(0),
+                    attempt: Some(0),
+                    at_chunk: 2,
+                    action: FaultAction::Kill { tear_jsonl: true },
+                },
+                FaultEvent {
+                    worker: None,
+                    spec: None,
+                    shard: None,
+                    attempt: None,
+                    at_chunk: 1,
+                    action: FaultAction::StallHeartbeat { stall_ms: 50 },
+                },
+            ],
+        };
+        let path = dir.join("plan.json");
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&plan).expect("serializes"),
+        )
+        .expect("writes");
+        let back = FaultPlan::load(&path).expect("loads");
+        assert_eq!(back, plan);
+        let mut bad = plan.clone();
+        bad.schema = "radio-lab/fault-plan/v0".to_string();
+        std::fs::write(&path, serde_json::to_string(&bad).expect("serializes")).expect("writes");
+        assert!(FaultPlan::load(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,39 @@
+//! Fault-tolerant multi-process sweep service.
+//!
+//! `radio-lab serve` turns the checkpointed sweep driver
+//! ([`crate::checkpoint::run_slice_checkpointed`]) into a supervised
+//! single-machine service: a coordinator submits specs to a **spool
+//! directory**, a fleet of worker *processes* lease shards from it
+//! (lease = an atomically-created claim file whose mtime is the
+//! heartbeat), and published shard partials are merged in shard order
+//! into output byte-identical to the uninterrupted single-process
+//! `--stream` run.
+//!
+//! The layers, bottom up:
+//!
+//! * [`spool`] — the on-disk coordination protocol: spec queue,
+//!   manifests, claims (acquire / heartbeat / fenced takeover), failure
+//!   markers, shard state scans, and the advisory `status.json`. Every
+//!   cross-process interaction goes through this module, so swapping
+//!   the directory for a TCP transport later only replaces this layer.
+//! * [`fault`] — the deterministic fault-injection plan (kills, torn
+//!   record-log tails, heartbeat stalls, sink I/O errors) workers load
+//!   from [`fault::FAULT_PLAN_ENV`].
+//! * [`worker`] — the worker loop: scan, lease, run a shard attempt
+//!   through the checkpointed driver (heartbeating and checking the
+//!   fence at every chunk boundary), publish the partial.
+//! * [`coord`] — the coordinator: submit, spawn/supervise/respawn the
+//!   fleet, merge (strict byte-identity when complete, clearly-marked
+//!   partial preview when degraded).
+//! * [`cli`] — the `serve` / `work` / `status` subcommands.
+
+pub mod cli;
+pub mod coord;
+pub mod fault;
+pub mod spool;
+pub mod worker;
+
+pub use coord::{run_serve, ServeConfig, ServeOutcome, SpecOutcome};
+pub use fault::{FaultAction, FaultEvent, FaultPlan, FAULT_PLAN_ENV};
+pub use spool::{SpecPhase, INCOMPLETE_MARKER};
+pub use worker::{run_worker, WorkerConfig, WorkerReport};

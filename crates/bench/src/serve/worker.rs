@@ -1,0 +1,475 @@
+//! The worker process: lease a shard, execute it through the
+//! checkpointed driver, publish the partial — repeat until nothing in
+//! the spool is active.
+//!
+//! Workers are deliberately stateless between shards: everything they
+//! know comes from the spool ([`super::spool`]), so a worker can crash
+//! at any instant and a replacement (or a takeover by a peer) continues
+//! from the dead worker's own checkpoint. The executing core is the
+//! same [`run_slice_checkpointed`] driver the single-process
+//! `--checkpoint` path uses; the service wraps it with a chunk-boundary
+//! hook that (in order) fires any scheduled faults, then heartbeats and
+//! **fences**: if the shard's claim changed hands, the worker abandons
+//! the shard mid-flight rather than publish over the new owner.
+//!
+//! Outcomes per leased shard:
+//!
+//! * **published** — the slice finished; its record log was fsynced and
+//!   its [`ShardPartial`] landed durably; the claim is released.
+//! * **abandoned** — the fence saw a takeover; nothing is written, the
+//!   claim (now someone else's) is left alone, and no failure is
+//!   counted — the takeover's attempt owns the shard now.
+//! * **failed** — a sink/hook error; a durable [`FailNote`] marker
+//!   lands (bounded retry: markers count toward `max_retries` and gate
+//!   backoff) and the claim is released.
+
+use super::fault::{FaultAction, FaultEvent, FaultPlan};
+use super::spool::{
+    heartbeat_and_fence, list_specs, release_claim, scan_spec, try_acquire_claim, Claim, FailNote,
+    ShardState, SpecDir, SpecPhase, SpoolManifest,
+};
+use crate::checkpoint::{
+    run_slice_checkpointed, shard_range, spec_fingerprint, truncate_jsonl_to_lines, ShardPartial,
+    ShardRef, SliceJob, SweepCheckpoint, PARTIAL_SCHEMA,
+};
+use crate::parallel::ThreadPool;
+use crate::scenario::ScenarioSpec;
+use crate::sink::{FaultTrip, JsonlWriter, SinkFile, StreamAggregate};
+use std::cell::Cell;
+use std::io::{self, BufWriter, Write};
+use std::path::PathBuf;
+use std::time::{Duration, SystemTime};
+
+/// How a worker runs: where the spool is, who the worker is, how often
+/// it polls, and which faults (if any) it injects.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// The spool directory shared with the coordinator.
+    pub spool: PathBuf,
+    /// This worker's id — the `owner` its claims carry.
+    pub worker_id: String,
+    /// Idle poll interval (nothing leasable right now).
+    pub poll_ms: u64,
+    /// Scoped thread-pool width for shard execution (`None` = the
+    /// process-global pool).
+    pub threads: Option<usize>,
+    /// The deterministic fault schedule, if chaos is on.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+/// What a worker did before exiting cleanly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Shards published.
+    pub published: u64,
+    /// Attempts abandoned at a fence (taken over by a peer).
+    pub abandoned: u64,
+    /// Attempts that failed (left a marker).
+    pub failed: u64,
+}
+
+/// How one leased shard attempt ended (see the module docs).
+enum ShardOutcome {
+    Published,
+    Abandoned,
+    Failed,
+}
+
+enum AttemptError {
+    /// The fence saw a takeover — not a failure, no marker.
+    LeaseLost,
+    /// A genuine attempt error — marker, release, bounded retry.
+    Fail(io::Error),
+}
+
+/// Runs the worker loop until no spec in the spool is active: scan the
+/// queue in order, lease the first available shard (open, or expired
+/// for takeover), execute it, repeat; sleep `poll_ms` when everything
+/// is leased out or backing off. Exits when every spec is terminal.
+///
+/// # Errors
+///
+/// Surfaces spool-level I/O failures (the shared directory itself
+/// misbehaving) — per-attempt errors are recorded as failure markers
+/// instead, and the coordinator's respawn budget covers worker exits.
+pub fn run_worker(cfg: &WorkerConfig) -> io::Result<WorkerReport> {
+    let pool = cfg.threads.map(ThreadPool::new);
+    let mut report = WorkerReport::default();
+    loop {
+        let specs = list_specs(&cfg.spool)?;
+        let mut any_active = false;
+        let mut leased: Option<(SpecDir, SpoolManifest, u64, Claim)> = None;
+        for sd in &specs {
+            let manifest = sd.load_manifest()?;
+            let scan = scan_spec(sd, &manifest, SystemTime::now())?;
+            if scan.phase != SpecPhase::Active {
+                continue;
+            }
+            any_active = true;
+            if let Some((shard, claim)) = try_lease(sd, &scan, &cfg.worker_id)? {
+                leased = Some((sd.clone(), manifest, shard, claim));
+                break;
+            }
+        }
+        match leased {
+            Some((sd, manifest, shard, claim)) => {
+                match run_shard(cfg, &sd, &manifest, shard, claim, pool.as_ref())? {
+                    ShardOutcome::Published => report.published += 1,
+                    ShardOutcome::Abandoned => report.abandoned += 1,
+                    ShardOutcome::Failed => report.failed += 1,
+                }
+            }
+            None if any_active => std::thread::sleep(Duration::from_millis(cfg.poll_ms)),
+            None => break,
+        }
+    }
+    Ok(report)
+}
+
+/// Leases the first available shard of a scanned spec. Open shards are
+/// acquired at their next attempt number; an expired lease is taken
+/// over by acquiring `attempt + 1`'s claim file. Both paths are the
+/// same create-exclusive `hard_link` — exactly one worker ever owns a
+/// given attempt, so racing workers can't both run (and stomp) the
+/// shard's shared checkpoint and record log. Losing the race is fine:
+/// the next scan sees the winner's claim.
+fn try_lease(
+    sd: &SpecDir,
+    scan: &super::spool::SpecScan,
+    worker_id: &str,
+) -> io::Result<Option<(u64, Claim)>> {
+    for view in &scan.shards {
+        match &view.state {
+            ShardState::Open { next_attempt, .. } => {
+                let claim = Claim::new(worker_id, *next_attempt);
+                if try_acquire_claim(&sd.claim_path(view.index, *next_attempt), &claim)? {
+                    return Ok(Some((view.index, claim)));
+                }
+            }
+            ShardState::Expired { owner, attempt, .. } => {
+                let claim = Claim::new(worker_id, attempt + 1);
+                if try_acquire_claim(&sd.claim_path(view.index, attempt + 1), &claim)? {
+                    eprintln!(
+                        "[{worker_id}] taking over shard {} of {} (lease of {owner} attempt \
+                         {attempt} expired)",
+                        view.index,
+                        sd.name()
+                    );
+                    return Ok(Some((view.index, claim)));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(None)
+}
+
+/// Runs one leased shard end to end and settles the claim.
+fn run_shard(
+    cfg: &WorkerConfig,
+    sd: &SpecDir,
+    manifest: &SpoolManifest,
+    shard: u64,
+    claim: Claim,
+    pool: Option<&ThreadPool>,
+) -> io::Result<ShardOutcome> {
+    let spec = sd.load_spec()?;
+    if spec_fingerprint(&spec) != manifest.fingerprint {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "{}: spec.json fingerprint does not match the manifest — the spool was edited \
+                 after submission",
+                sd.name()
+            ),
+        ));
+    }
+    eprintln!(
+        "[{}] leased shard {shard} of {} (attempt {})",
+        cfg.worker_id,
+        sd.name(),
+        claim.attempt
+    );
+    match execute_attempt(cfg, sd, manifest, &spec, shard, &claim, pool) {
+        Ok(()) => {
+            release_claim(&sd.claim_path(shard, claim.attempt))?;
+            eprintln!(
+                "[{}] published shard {shard} of {}",
+                cfg.worker_id,
+                sd.name()
+            );
+            Ok(ShardOutcome::Published)
+        }
+        Err(AttemptError::LeaseLost) => {
+            // Our attempt's claim file is ours alone — releasing it just
+            // tidies the ledger; the takeover's higher-numbered claim is
+            // untouched and stays the live one.
+            release_claim(&sd.claim_path(shard, claim.attempt))?;
+            eprintln!(
+                "[{}] abandoning shard {shard} of {} (lease taken over)",
+                cfg.worker_id,
+                sd.name()
+            );
+            Ok(ShardOutcome::Abandoned)
+        }
+        Err(AttemptError::Fail(e)) => {
+            eprintln!(
+                "[{}] shard {shard} of {} attempt {} failed: {e}",
+                cfg.worker_id,
+                sd.name(),
+                claim.attempt
+            );
+            let note = FailNote {
+                worker: cfg.worker_id.clone(),
+                attempt: claim.attempt,
+                error: e.to_string(),
+            };
+            let json = serde_json::to_string_pretty(&note).expect("note is plain data");
+            crate::checkpoint::write_durable_atomic(
+                &sd.fail_path(shard, claim.attempt),
+                json.as_bytes(),
+            )?;
+            release_claim(&sd.claim_path(shard, claim.attempt))?;
+            Ok(ShardOutcome::Failed)
+        }
+    }
+}
+
+/// One attempt at a leased shard: resume from the shard's checkpoint if
+/// one exists (truncating a torn record-log tail), execute the
+/// remaining slice with the heartbeat/fence/fault hook at every chunk
+/// boundary, fsync the log, and publish the partial.
+fn execute_attempt(
+    cfg: &WorkerConfig,
+    sd: &SpecDir,
+    manifest: &SpoolManifest,
+    spec: &ScenarioSpec,
+    shard: u64,
+    claim: &Claim,
+    pool: Option<&ThreadPool>,
+) -> Result<(), AttemptError> {
+    let sref = ShardRef {
+        index: shard,
+        count: manifest.shards,
+    };
+    let total = spec.grid_size() as u64;
+    let bounds = shard_range(total, sref);
+    let ckpt_path = sd.checkpoint_path(shard);
+    let jsonl_path = sd.jsonl_path(shard);
+    let fail = AttemptError::Fail;
+
+    // A checkpoint left by a crashed attempt resumes; a corrupt one is
+    // discarded (the attempt restarts the slice from scratch — correct,
+    // just slower); a mismatched one is a real error.
+    let cp = match SweepCheckpoint::load(&ckpt_path) {
+        Ok(cp) => {
+            cp.validate(spec, Some(sref), &bounds, manifest.records)
+                .map_err(|e| fail(io::Error::new(io::ErrorKind::InvalidData, e)))?;
+            Some(cp)
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+        Err(e) => {
+            eprintln!(
+                "[{}] discarding unreadable checkpoint {}: {e}",
+                cfg.worker_id,
+                ckpt_path.display()
+            );
+            let _ = std::fs::remove_file(&ckpt_path);
+            None
+        }
+    };
+
+    let trip = FaultTrip::new();
+    let faults: Vec<&FaultEvent> = cfg.fault_plan.as_ref().map_or_else(Vec::new, |p| {
+        p.events_for(&cfg.worker_id, &spec.id, shard, claim.attempt)
+    });
+    // at_chunk == 0 fires before the attempt's first chunk.
+    fire_faults(cfg, &faults, 0, &jsonl_path, &trip, manifest.records);
+
+    let (mut agg, mut jsonl, todo_start, base_records, base_wall_s);
+    match cp {
+        Some(cp) => {
+            jsonl = match (cp.jsonl_lines, manifest.records) {
+                (Some(lines), true) => {
+                    let report = truncate_jsonl_to_lines(&jsonl_path, lines).map_err(fail)?;
+                    if report.dropped_bytes > 0 {
+                        eprintln!(
+                            "[{}] {}: dropped {} byte(s) past the checkpoint ({} complete \
+                             line(s){}) — this attempt re-emits them",
+                            cfg.worker_id,
+                            jsonl_path.display(),
+                            report.dropped_bytes,
+                            report.dropped_lines,
+                            if report.torn_tail {
+                                " plus a torn final line"
+                            } else {
+                                ""
+                            }
+                        );
+                    }
+                    let file = std::fs::OpenOptions::new()
+                        .append(true)
+                        .open(&jsonl_path)
+                        .map_err(fail)?;
+                    Some(JsonlWriter::resume(
+                        BufWriter::new(SinkFile::with_trip(file, trip.clone())),
+                        lines,
+                    ))
+                }
+                _ => None,
+            };
+            agg = StreamAggregate::restore_for_spec(spec, cp.aggregate)
+                .map_err(|e| fail(io::Error::new(io::ErrorKind::InvalidData, e)))?;
+            todo_start = cp.next_index;
+            base_records = cp.records;
+            base_wall_s = cp.wall_s;
+            eprintln!(
+                "[{}] resuming shard {shard} at grid index {todo_start} of {}..{} ({} records \
+                 durable)",
+                cfg.worker_id, bounds.start, bounds.end, base_records
+            );
+        }
+        None => {
+            jsonl = if manifest.records {
+                let file = std::fs::File::create(&jsonl_path).map_err(fail)?;
+                Some(JsonlWriter::new(BufWriter::new(SinkFile::with_trip(
+                    file,
+                    trip.clone(),
+                ))))
+            } else {
+                None
+            };
+            agg = StreamAggregate::for_spec(spec);
+            todo_start = bounds.start;
+            base_records = 0;
+            base_wall_s = 0.0;
+        }
+    }
+
+    let lease_lost = Cell::new(false);
+    let mut beat = claim.beat;
+    let mut hook = |_next_index: u64, chunks_done: u64| -> io::Result<()> {
+        fire_faults(
+            cfg,
+            &faults,
+            chunks_done,
+            &jsonl_path,
+            &trip,
+            manifest.records,
+        );
+        beat += 1;
+        let mine = Claim {
+            schema: claim.schema.clone(),
+            owner: claim.owner.clone(),
+            attempt: claim.attempt,
+            beat,
+        };
+        if heartbeat_and_fence(sd, shard, &mine)? {
+            Ok(())
+        } else {
+            lease_lost.set(true);
+            Err(io::Error::other("lease lost at fence"))
+        }
+    };
+
+    let job = SliceJob {
+        spec,
+        chunk: manifest.chunk,
+        todo: todo_start..bounds.end,
+        bounds: bounds.clone(),
+        shard: Some(sref),
+        base_records,
+        base_wall_s,
+        checkpoint_path: Some(&ckpt_path),
+        limit_chunks: None,
+        on_chunk: Some(&mut hook),
+    };
+    let run_slice = || run_slice_checkpointed(job, &mut agg, jsonl.as_mut());
+    let run = match pool {
+        Some(p) => p.install(run_slice),
+        None => run_slice(),
+    }
+    .map_err(|e| {
+        if lease_lost.get() {
+            AttemptError::LeaseLost
+        } else {
+            AttemptError::Fail(e)
+        }
+    })?;
+
+    // The partial must never reference record-log lines that could
+    // vanish in a power loss: flush + fsync before publishing.
+    let records_path = match jsonl {
+        Some(mut log) => {
+            log.sync_data().map_err(fail)?;
+            Some(jsonl_path.to_string_lossy().into_owned())
+        }
+        None => None,
+    };
+    let partial = ShardPartial {
+        schema: PARTIAL_SCHEMA.to_string(),
+        fingerprint: manifest.fingerprint.clone(),
+        shard: sref,
+        start: bounds.start,
+        end: bounds.end,
+        records: run.records,
+        wall_s: run.wall_s,
+        records_path,
+        spec: spec.clone(),
+        aggregate: agg.snapshot(),
+    };
+    partial.save(&sd.partial_path(shard)).map_err(fail)?;
+    Ok(())
+}
+
+/// Fires every fault scheduled for this boundary, in plan order. Kills
+/// never return.
+fn fire_faults(
+    cfg: &WorkerConfig,
+    faults: &[&FaultEvent],
+    chunks_done: u64,
+    jsonl_path: &std::path::Path,
+    trip: &FaultTrip,
+    records: bool,
+) {
+    for ev in faults.iter().filter(|e| e.at_chunk == chunks_done) {
+        match &ev.action {
+            FaultAction::Kill { tear_jsonl } => {
+                if *tear_jsonl && records {
+                    // Simulate a crash mid-write: an unterminated JSON
+                    // fragment after the last durable line. The buffer
+                    // was flushed at this boundary, so the fragment
+                    // lands past everything the checkpoint counts.
+                    if let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(jsonl_path) {
+                        let _ = f.write_all(b"{\"torn\":");
+                        let _ = f.sync_data();
+                    }
+                }
+                eprintln!(
+                    "[{}] fault: kill at chunk {chunks_done}{}",
+                    cfg.worker_id,
+                    if *tear_jsonl {
+                        " (tearing record log)"
+                    } else {
+                        ""
+                    }
+                );
+                std::process::exit(137);
+            }
+            FaultAction::StallHeartbeat { stall_ms } => {
+                eprintln!(
+                    "[{}] fault: stalling heartbeat {stall_ms}ms at chunk {chunks_done}",
+                    cfg.worker_id
+                );
+                std::thread::sleep(Duration::from_millis(*stall_ms));
+            }
+            FaultAction::SinkError => {
+                eprintln!(
+                    "[{}] fault: arming sink error at chunk {chunks_done}",
+                    cfg.worker_id
+                );
+                trip.arm();
+            }
+        }
+    }
+}

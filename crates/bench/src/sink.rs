@@ -32,7 +32,10 @@ use crate::aggregate::{AggregateSnapshot, AggregateSpec, AggregateState};
 use crate::scenario::{ScenarioRun, ScenarioSpec, TrialUnit};
 use crate::table::Table;
 use radio_structures::runner::RunRecord;
-use std::io::Write;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// A consumer of the streaming record flow. `accept` is called once per
 /// executed unit, **in unit (= planner) order**, with all of the unit's
@@ -185,6 +188,100 @@ impl RecordSink for StreamAggregate {
     }
 }
 
+/// A shared switch that makes a [`SinkFile`] start failing: the
+/// deterministic sink-I/O fault used by the chaos harness and the
+/// sink-error-propagation tests. Arm it (typically at a chunk boundary)
+/// and every subsequent write through the tripped file errors with
+/// [`io::ErrorKind::Other`] — a reproducible stand-in for a full disk or
+/// yanked volume.
+#[derive(Debug, Clone, Default)]
+pub struct FaultTrip(Arc<AtomicBool>);
+
+impl FaultTrip {
+    /// A disarmed trip.
+    pub fn new() -> Self {
+        FaultTrip::default()
+    }
+
+    /// Arms the trip: the next write through any [`SinkFile`] carrying it
+    /// fails.
+    pub fn arm(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the trip is armed.
+    pub fn armed(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// The message every injected [`FaultTrip`] write error carries — tests
+/// and the chaos harness match on it to tell an injected fault from a
+/// genuine filesystem error.
+pub const INJECTED_SINK_ERROR: &str = "injected sink I/O fault";
+
+/// The file handle the durable record-log pipeline writes through: a
+/// plain [`File`] plus an optional [`FaultTrip`] for deterministic
+/// injected write failures, and a [`SinkFile::sync_data`] passthrough so
+/// the checkpoint driver can fsync the log before a checkpoint refers to
+/// its lines. Production paths carry no trip and behave exactly like the
+/// bare file.
+#[derive(Debug)]
+pub struct SinkFile {
+    file: File,
+    trip: Option<FaultTrip>,
+}
+
+impl SinkFile {
+    /// A plain, fault-free file handle.
+    pub fn new(file: File) -> Self {
+        SinkFile { file, trip: None }
+    }
+
+    /// A handle that fails every write once `trip` is armed.
+    pub fn with_trip(file: File, trip: FaultTrip) -> Self {
+        SinkFile {
+            file,
+            trip: Some(trip),
+        }
+    }
+
+    /// Fsyncs the file's data to stable storage (directory entries are the
+    /// caller's concern — see [`crate::checkpoint::sync_parent_dir`]).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the `fsync` error (or the injected fault, when armed).
+    pub fn sync_data(&self) -> io::Result<()> {
+        if let Some(trip) = &self.trip {
+            if trip.armed() {
+                return Err(io::Error::other(INJECTED_SINK_ERROR));
+            }
+        }
+        self.file.sync_data()
+    }
+}
+
+impl Write for SinkFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let Some(trip) = &self.trip {
+            if trip.armed() {
+                return Err(io::Error::other(INJECTED_SINK_ERROR));
+            }
+        }
+        self.file.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(trip) = &self.trip {
+            if trip.armed() {
+                return Err(io::Error::other(INJECTED_SINK_ERROR));
+            }
+        }
+        self.file.flush()
+    }
+}
+
 /// The record-log sink: one [`RunRecord`] per line of JSONL, in unit
 /// order, written as the sweep progresses — the full record stream on
 /// disk with O(1) sink memory. Wrap the target in a
@@ -223,6 +320,21 @@ impl<W: Write> JsonlWriter<W> {
     pub fn finish(mut self) -> std::io::Result<W> {
         self.out.flush()?;
         Ok(self.out)
+    }
+}
+
+impl JsonlWriter<BufWriter<SinkFile>> {
+    /// Flushes the buffer and fsyncs the log file — the durability step a
+    /// checkpoint needs before it may record this log's line count: after
+    /// this returns, every counted line survives power loss, not just
+    /// process death.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the flush or `fsync` error.
+    pub fn sync_data(&mut self) -> io::Result<()> {
+        self.out.flush()?;
+        self.out.get_ref().sync_data()
     }
 }
 

@@ -444,3 +444,63 @@ fn sharded_sweep_merges_byte_identical_to_single_run() {
     assert!(!out.status.success(), "missing shard must refuse");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn shard_flag_rejects_malformed_and_out_of_range_refs() {
+    let dir = scratch("shardflag");
+    std::fs::write(dir.join("spec.json"), SPEC).expect("spec writes");
+    // Every rejected form must exit 2 (usage) with a diagnostic naming
+    // the problem, and must produce no partial artifact.
+    for (shard, why) in [
+        ("0/0", "zero shard count"),
+        ("2/2", "index == count"),
+        ("3/2", "index past count"),
+        ("x/2", "non-numeric index"),
+        ("1/y", "non-numeric count"),
+        ("1", "missing count"),
+        ("1-2", "wrong separator"),
+        ("-1/2", "negative index"),
+    ] {
+        let out = lab(
+            &[
+                "spec.json",
+                "--stream",
+                "--shard",
+                shard,
+                "--out",
+                "part.partial",
+            ],
+            &dir,
+        );
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "--shard {shard} ({why}) must exit 2"
+        );
+        assert!(
+            !dir.join("part.partial").exists(),
+            "--shard {shard} ({why}) must not write a partial"
+        );
+    }
+    // The well-formed boundary neighbours still work.
+    for shard in ["0/1", "1/2"] {
+        let out = lab(
+            &[
+                "spec.json",
+                "--stream",
+                "--shard",
+                shard,
+                "--out",
+                "part.partial",
+            ],
+            &dir,
+        );
+        assert!(
+            out.status.success(),
+            "--shard {shard} must run: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::remove_file(dir.join("part.partial")).expect("partial written");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
