@@ -1,11 +1,14 @@
 //! Engine micro-benchmark: `Engine::step()` on the canonical topologies
 //! (clique / random-geometric / sparse-with-chords), plus the seed
-//! implementation (`step_legacy`) for a same-binary baseline. The
-//! machine-readable counterpart is the `bench_engine` binary, which writes
+//! implementation (`step_legacy`) for a same-binary baseline and the
+//! word-packed `step_bitset` tier (dense rows are where it shines; the
+//! sparse workloads document its break-even). The machine-readable
+//! counterpart is the `bench_engine` binary, which writes
 //! `BENCH_engine.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use radio_bench::enginebench::{workload_engine, WORKLOADS};
+use radio_bench::enginebench::{workload_engine_mode, WORKLOADS};
+use radio_sim::StepMode;
 use std::time::Duration;
 
 fn bench_step(c: &mut Criterion) {
@@ -14,7 +17,7 @@ fn bench_step(c: &mut Criterion) {
     group.warm_up_time(Duration::from_secs(1));
     group.sample_size(20);
     for name in WORKLOADS {
-        let mut engine = workload_engine(name);
+        let mut engine = workload_engine_mode(name, StepMode::Scalar);
         engine.run_rounds(64); // amortize scratch capacity growth
         group.bench_with_input(BenchmarkId::new("scratch", name), &name, |b, _| {
             b.iter(|| {
@@ -22,11 +25,21 @@ fn bench_step(c: &mut Criterion) {
                 engine.round()
             });
         });
-        let mut engine = workload_engine(name);
+        let mut engine = workload_engine_mode(name, StepMode::Scalar);
         engine.run_rounds(64);
         group.bench_with_input(BenchmarkId::new("legacy", name), &name, |b, _| {
             b.iter(|| {
                 engine.step_legacy();
+                engine.round()
+            });
+        });
+        // Bitset mode builds the bitmask rows at spawn, so the measured
+        // loop sees only the steady-state word-wise delivery.
+        let mut engine = workload_engine_mode(name, StepMode::Bitset);
+        engine.run_rounds(64);
+        group.bench_with_input(BenchmarkId::new("bitset", name), &name, |b, _| {
+            b.iter(|| {
+                engine.step_bitset();
                 engine.round()
             });
         });

@@ -1,6 +1,7 @@
 //! Generates `BENCH_engine.json`: engine rounds/sec, wall time, and
-//! steady-state allocations per round, for the scratch engine and the seed
-//! (`step_legacy`) baseline, on the canonical workloads.
+//! steady-state allocations per round, for all three engine tiers —
+//! scratch (`step`), the seed baseline (`step_legacy`), and the
+//! word-packed `step_bitset` — on the canonical workloads.
 //!
 //! Usage:
 //!
@@ -9,21 +10,23 @@
 //! bench_engine --quick         # smoke scale for CI (2k rounds)
 //! bench_engine --out PATH      # write the JSON somewhere else
 //! bench_engine --baseline PATH # diff against a previous report
-//! bench_engine --check         # exit nonzero on >15% scratch regression
+//! bench_engine --check         # exit nonzero on >15% ratio regression
 //! ```
 //!
 //! When the output path already holds a previous report (or `--baseline`
 //! names one), a delta table prints for every workload; with `--check`,
-//! a >15% drop in the scratch/legacy speedup ratio fails the run — the
-//! CI bench-smoke step runs this against the committed `BENCH_engine.json`.
-//! The gate uses the speedup ratio (not absolute rounds/sec) because the
-//! engines are measured interleaved, so machine speed cancels and the
-//! committed baseline stays valid across hardware.
+//! a >15% drop in the scratch/legacy speedup ratio — or in the
+//! bitset/scratch ratio, when the baseline records one — fails the run;
+//! the CI bench-smoke step runs this against the committed
+//! `BENCH_engine.json`. The gates use speedup ratios (not absolute
+//! rounds/sec) because the tiers are measured interleaved, so machine
+//! speed cancels and the committed baseline stays valid across hardware.
+//! Schema-v1 baselines (no bitset column) still gate the scratch ratio.
 //!
 //! The binary installs a counting global allocator, so the reported
-//! `allocs_per_round` is exact: the scratch engine must report 0.0 in
-//! steady state (the zero-allocation acceptance criterion), while the
-//! legacy engine reports its per-round buffer churn.
+//! `allocs_per_round` is exact: the scratch and bitset engines must report
+//! 0.0 in steady state (the zero-allocation acceptance criterion), while
+//! the legacy engine reports its per-round buffer churn.
 
 use radio_bench::enginebench::run_engine_bench;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -76,9 +79,18 @@ fn counters() -> (u64, u64) {
 /// reruns.
 const REGRESSION_TOLERANCE: f64 = 0.15;
 
-/// Per-workload `(scratch rounds/sec, scratch/legacy speedup)` of a
-/// report, in report order.
-fn scratch_stats(report: &radio_bench::enginebench::EngineBenchReport) -> Vec<(String, f64, f64)> {
+/// Per-workload gate inputs of a report, in report order.
+struct WorkloadStats {
+    name: String,
+    /// Scratch rounds/sec.
+    rate: f64,
+    /// scratch/legacy speedup.
+    speedup: f64,
+    /// bitset/scratch speedup (`None` in schema-v1 baselines).
+    bitset: Option<f64>,
+}
+
+fn scratch_stats(report: &radio_bench::enginebench::EngineBenchReport) -> Vec<WorkloadStats> {
     report
         .workloads
         .iter()
@@ -86,13 +98,19 @@ fn scratch_stats(report: &radio_bench::enginebench::EngineBenchReport) -> Vec<(S
             w.engines
                 .iter()
                 .find(|m| m.engine == "scratch")
-                .map(|m| (w.name.clone(), m.rounds_per_sec, w.speedup))
+                .map(|m| WorkloadStats {
+                    name: w.name.clone(),
+                    rate: m.rounds_per_sec,
+                    speedup: w.speedup,
+                    bitset: w.bitset_speedup,
+                })
         })
         .collect()
 }
 
-/// Prints the baseline delta table; returns the workloads whose speedup
-/// ratio regressed beyond the tolerance.
+/// Prints the baseline delta table; returns the workloads whose
+/// scratch/legacy — or bitset/scratch — ratio regressed beyond the
+/// tolerance.
 fn diff_against_baseline(
     baseline: &radio_bench::enginebench::EngineBenchReport,
     current: &radio_bench::enginebench::EngineBenchReport,
@@ -102,23 +120,48 @@ fn diff_against_baseline(
     let mut regressed = Vec::new();
     println!();
     println!(
-        "{:<12} {:>16} {:>16} {:>9} {:>10} {:>10} {:>9}",
-        "workload", "baseline r/s", "current r/s", "delta", "base spdup", "cur spdup", "delta"
+        "{:<12} {:>16} {:>16} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "workload",
+        "baseline r/s",
+        "current r/s",
+        "delta",
+        "base spdup",
+        "cur spdup",
+        "delta",
+        "base bit",
+        "cur bit",
+        "delta"
     );
-    for (name, new_rate, new_speedup) in &new {
-        let Some((_, old_rate, old_speedup)) = old.iter().find(|(n, _, _)| n == name) else {
-            println!("{name:<12} {:>16} {new_rate:>16.0} — new workload", "—");
+    for stats in &new {
+        let name = &stats.name;
+        let Some(base) = old.iter().find(|b| b.name == *name) else {
+            println!("{name:<12} {:>16} {:>16.0} — new workload", "—", stats.rate);
             continue;
         };
-        let rate_delta = new_rate / old_rate.max(1e-12) - 1.0;
-        let speedup_delta = new_speedup / old_speedup.max(1e-12) - 1.0;
+        let rate_delta = stats.rate / base.rate.max(1e-12) - 1.0;
+        let speedup_delta = stats.speedup / base.speedup.max(1e-12) - 1.0;
+        // The bitset ratio only gates when both reports record it (a v1
+        // baseline never blocks the new column's introduction).
+        let bitset_delta = match (base.bitset, stats.bitset) {
+            (Some(b), Some(c)) => Some(c / b.max(1e-12) - 1.0),
+            _ => None,
+        };
+        let bit_cell = |v: Option<f64>| v.map_or("—".to_string(), |x| format!("{x:.2}x"));
         println!(
-            "{name:<12} {old_rate:>16.0} {new_rate:>16.0} {:>+8.1}% {old_speedup:>9.2}x \
-             {new_speedup:>9.2}x {:>+8.1}%",
+            "{name:<12} {:>16.0} {:>16.0} {:>+8.1}% {:>9.2}x {:>9.2}x {:>+8.1}% {:>9} {:>9} {:>9}",
+            base.rate,
+            stats.rate,
             rate_delta * 100.0,
-            speedup_delta * 100.0
+            base.speedup,
+            stats.speedup,
+            speedup_delta * 100.0,
+            bit_cell(base.bitset),
+            bit_cell(stats.bitset),
+            bitset_delta.map_or("—".to_string(), |d| format!("{:+.1}%", d * 100.0)),
         );
-        if speedup_delta < -REGRESSION_TOLERANCE {
+        if speedup_delta < -REGRESSION_TOLERANCE
+            || bitset_delta.is_some_and(|d| d < -REGRESSION_TOLERANCE)
+        {
             regressed.push(name.clone());
         }
     }
@@ -182,10 +225,13 @@ fn main() {
                 m.engine,
                 m.rounds_per_sec,
                 m.wall_s,
-                if m.engine == "scratch" {
-                    format!("{:.2}x", w.speedup)
-                } else {
-                    "—".to_string()
+                match m.engine.as_str() {
+                    // scratch row: scratch/legacy; bitset row: bitset/scratch.
+                    "scratch" => format!("{:.2}x", w.speedup),
+                    "bitset" => w
+                        .bitset_speedup
+                        .map_or("—".to_string(), |s| format!("{s:.2}x")),
+                    _ => "—".to_string(),
                 },
                 m.allocs_per_round
                     .map_or("—".to_string(), |a| format!("{a:.2}")),
@@ -221,19 +267,23 @@ fn main() {
     }
 
     // Surface acceptance regressions directly in the exit code: the
-    // scratch engine must stay allocation-free in steady state.
-    let leaky: Vec<&str> = report
+    // scratch and bitset engines must stay allocation-free in steady
+    // state.
+    let leaky: Vec<String> = report
         .workloads
         .iter()
-        .filter(|w| {
+        .flat_map(|w| {
             w.engines
                 .iter()
-                .any(|m| m.engine == "scratch" && m.allocs_per_round.unwrap_or(0.0) > 0.0)
+                .filter(|m| {
+                    matches!(m.engine.as_str(), "scratch" | "bitset")
+                        && m.allocs_per_round.unwrap_or(0.0) > 0.0
+                })
+                .map(|m| format!("{}/{}", w.name, m.engine))
         })
-        .map(|w| w.name.as_str())
         .collect();
     if !leaky.is_empty() {
-        eprintln!("FAIL: scratch engine allocated in steady state on: {leaky:?}");
+        eprintln!("FAIL: engines allocated in steady state on: {leaky:?}");
         std::process::exit(1);
     }
 }

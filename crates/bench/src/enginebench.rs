@@ -2,10 +2,16 @@
 //!
 //! The simulator's `Engine::step()` is the hot path under every experiment
 //! table, so its throughput is tracked PR-over-PR in a machine-readable
-//! artifact. Three canonical topologies cover the engine's regimes:
+//! artifact. Five canonical topologies cover the engine's regimes:
 //!
-//! * **clique** — dense reliable layer, every broadcast reaches everyone
-//!   (scatter cost is maximal per broadcaster);
+//! * **clique-64 / clique-256 / clique-1024** — dense reliable layer,
+//!   every broadcast reaches everyone (scatter cost is maximal per
+//!   broadcaster). Word-packed delivery shines here, and the advantage
+//!   grows with `n`: the scalar scatter is `O(B·n)` per round while the
+//!   bitset passes are `O(B·n/64)`, against shared per-node decide/receive
+//!   costs that are identical across tiers. The 1024 clique carries the
+//!   ≥3× bitset/scratch acceptance ratio; the smaller cliques document
+//!   where the crossover sits;
 //! * **rgg** — the random-geometric dual graph the paper's experiments
 //!   use, with a gray zone of unreliable links and a randomized adversary
 //!   (the acceptance workload at `n = 256`);
@@ -13,17 +19,20 @@
 //!   [`Collider`](radio_sim::adversary::Collider), the cheap-per-round /
 //!   adversary-heavy regime.
 //!
-//! Each workload runs on both the scratch-buffer engine ([`Engine::step`])
-//! and the seed implementation kept as [`Engine::step_legacy`], so every
-//! generated `BENCH_engine.json` records the baseline and the speedup in
-//! the same artifact.
+//! Each workload runs on **all three engine tiers** — the scratch-buffer
+//! engine ([`Engine::step`]), the seed implementation kept as
+//! [`Engine::step_legacy`], and the word-packed [`Engine::step_bitset`] —
+//! so every generated `BENCH_engine.json` (schema `bench-engine/v2`)
+//! records the baseline, the scratch/legacy speedup, and the
+//! bitset/scratch speedup in the same artifact.
 //!
 //! [`Engine::step`]: radio_sim::Engine::step
 //! [`Engine::step_legacy`]: radio_sim::Engine::step_legacy
+//! [`Engine::step_bitset`]: radio_sim::Engine::step_bitset
 
 use radio_sim::adversary::{Collider, RandomUnreliable};
 use radio_sim::topology::{random_geometric, RandomGeometricConfig};
-use radio_sim::{Action, Context, DualGraph, Engine, EngineBuilder, Graph, Process};
+use radio_sim::{Action, Context, DualGraph, Engine, EngineBuilder, Graph, Process, StepMode};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -78,7 +87,13 @@ impl Process for Chatter {
 }
 
 /// Names of the canonical workloads, in report order.
-pub const WORKLOADS: [&str; 3] = ["clique-64", "rgg-256", "sparse-256"];
+pub const WORKLOADS: [&str; 5] = [
+    "clique-64",
+    "clique-256",
+    "clique-1024",
+    "rgg-256",
+    "sparse-256",
+];
 
 /// Broadcast probability used by every workload's [`Chatter`] processes
 /// (MIS-style sparse contention).
@@ -92,6 +107,8 @@ pub const CHATTER_P: f64 = 0.05;
 pub fn workload_net(name: &str) -> DualGraph {
     match name {
         "clique-64" => DualGraph::classic(Graph::complete(64)).expect("clique is connected"),
+        "clique-256" => DualGraph::classic(Graph::complete(256)).expect("clique is connected"),
+        "clique-1024" => DualGraph::classic(Graph::complete(1024)).expect("clique is connected"),
         "rgg-256" => {
             let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
             random_geometric(&RandomGeometricConfig::dense(256), &mut rng)
@@ -111,10 +128,18 @@ pub fn workload_net(name: &str) -> DualGraph {
 }
 
 /// Spawns the workload's engine (Chatter processes + the workload's
-/// adversary), same construction for both engine implementations.
+/// adversary), same construction for every engine implementation.
 pub fn workload_engine(name: &str) -> Engine<Chatter> {
+    workload_engine_mode(name, StepMode::Auto)
+}
+
+/// [`workload_engine`] with a pinned delivery tier — the bitset
+/// measurements force [`StepMode::Bitset`] so the bitmask rows are built
+/// at spawn (outside the measured steady state) on every workload,
+/// including the sparse ones Auto would route to the scalar tier.
+pub fn workload_engine_mode(name: &str, mode: StepMode) -> Engine<Chatter> {
     let net = workload_net(name);
-    let builder = EngineBuilder::new(net).seed(7);
+    let builder = EngineBuilder::new(net).seed(7).step_mode(mode);
     let builder = match name {
         "sparse-256" => builder.adversary(Collider),
         _ => builder.adversary(RandomUnreliable::new(0.5, 11)),
@@ -127,7 +152,8 @@ pub fn workload_engine(name: &str) -> Engine<Chatter> {
 /// One measured engine configuration within a workload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineMeasurement {
-    /// `"scratch"` (current `step()`) or `"legacy"` (seed implementation).
+    /// `"scratch"` (`step()`), `"legacy"` (seed implementation), or
+    /// `"bitset"` (word-packed `step_bitset()`).
     pub engine: String,
     /// Rounds executed during measurement.
     pub rounds: u64,
@@ -142,17 +168,21 @@ pub struct EngineMeasurement {
     pub bytes_per_round: Option<f64>,
 }
 
-/// Benchmark results of one workload: both engines plus the speedup.
+/// Benchmark results of one workload: every engine tier plus the ratios.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WorkloadReport {
     /// Workload name from [`WORKLOADS`].
     pub name: String,
     /// Network size.
     pub n: usize,
-    /// Measurements (scratch first, then legacy).
+    /// Measurements (scratch, then legacy, then bitset).
     pub engines: Vec<EngineMeasurement>,
     /// `rounds_per_sec(scratch) / rounds_per_sec(legacy)`.
     pub speedup: f64,
+    /// `rounds_per_sec(bitset) / rounds_per_sec(scratch)`. `None` in
+    /// schema-v1 documents (they predate the bitset tier and parse
+    /// unchanged).
+    pub bitset_speedup: Option<f64>,
 }
 
 /// The whole `BENCH_engine.json` document.
@@ -173,44 +203,47 @@ pub struct AllocDelta {
     pub bytes: u64,
 }
 
-/// Measures both engines on one workload, **interleaved**: after a warmup
-/// on each, scratch and legacy execute alternating batches of rounds, so
-/// machine-load drift during the measurement hits both engines equally and
-/// cancels out of the speedup ratio. `alloc_probe` (when provided) samples
-/// a monotone `(allocs, bytes)` counter around each batch; the summed
-/// deltas give exact steady-state allocations.
+/// Measures every engine tier on one workload, **interleaved**: after a
+/// warmup on each, scratch, legacy, and bitset execute alternating batches
+/// of rounds, so machine-load drift during the measurement hits every tier
+/// equally and cancels out of the speedup ratios. `alloc_probe` (when
+/// provided) samples a monotone `(allocs, bytes)` counter around each
+/// batch; the summed deltas give exact steady-state allocations. The
+/// bitset engine is spawned with [`StepMode::Bitset`] pinned, so its row
+/// construction happens at spawn, outside the probes.
 pub fn measure_workload(
     name: &str,
     rounds: u64,
     alloc_probe: Option<&dyn Fn() -> (u64, u64)>,
 ) -> WorkloadReport {
+    const LABELS: [&str; 3] = ["scratch", "legacy", "bitset"];
     let warmup = (rounds / 10).max(16);
     let batches = 16u64;
     let batch = (rounds / batches).max(1);
-    let mut scratch_engine = workload_engine(name);
-    let mut legacy_engine = workload_engine(name);
+    let mut engines_rt = [
+        workload_engine(name),
+        workload_engine(name),
+        workload_engine_mode(name, StepMode::Bitset),
+    ];
+    let step_one = |engine: &mut Engine<Chatter>, which: usize| match which {
+        0 => engine.step(),
+        1 => engine.step_legacy(),
+        _ => engine.step_bitset(),
+    };
     for _ in 0..warmup {
-        scratch_engine.step();
-        legacy_engine.step_legacy();
+        for (which, engine) in engines_rt.iter_mut().enumerate() {
+            step_one(engine, which);
+        }
     }
-    let mut wall = [0.0f64; 2];
-    let mut executed = [0u64; 2];
-    let mut alloc = [AllocDelta::default(); 2];
+    let mut wall = [0.0f64; 3];
+    let mut executed = [0u64; 3];
+    let mut alloc = [AllocDelta::default(); 3];
     for _ in 0..batches {
-        for (which, legacy) in [(0usize, false), (1usize, true)] {
-            let engine = if legacy {
-                &mut legacy_engine
-            } else {
-                &mut scratch_engine
-            };
+        for (which, engine) in engines_rt.iter_mut().enumerate() {
             let before = alloc_probe.map(|p| p());
             let start = Instant::now();
             for _ in 0..batch {
-                if legacy {
-                    engine.step_legacy();
-                } else {
-                    engine.step();
-                }
+                step_one(engine, which);
             }
             wall[which] += start.elapsed().as_secs_f64();
             executed[which] += batch;
@@ -222,15 +255,15 @@ pub fn measure_workload(
         }
     }
     // Defeat dead-code elimination of the whole run.
-    let heard: u64 = scratch_engine
-        .procs()
+    let heard: u64 = engines_rt
         .iter()
-        .chain(legacy_engine.procs())
+        .flat_map(|e| e.procs())
         .map(Chatter::heard)
         .sum();
     std::hint::black_box(heard);
-    let engines: Vec<EngineMeasurement> = [(0usize, "scratch"), (1, "legacy")]
+    let engines: Vec<EngineMeasurement> = LABELS
         .into_iter()
+        .enumerate()
         .map(|(which, label)| EngineMeasurement {
             engine: label.to_string(),
             rounds: executed[which],
@@ -243,15 +276,17 @@ pub fn measure_workload(
         })
         .collect();
     let speedup = engines[0].rounds_per_sec / engines[1].rounds_per_sec.max(1e-12);
+    let bitset_speedup = engines[2].rounds_per_sec / engines[0].rounds_per_sec.max(1e-12);
     WorkloadReport {
         name: name.to_string(),
-        n: scratch_engine.net().n(),
+        n: engines_rt[0].net().n(),
         engines,
         speedup,
+        bitset_speedup: Some(bitset_speedup),
     }
 }
 
-/// Runs every workload on both engines and assembles the report.
+/// Runs every workload on every engine tier and assembles the report.
 pub fn run_engine_bench(
     rounds: u64,
     alloc_probe: Option<&dyn Fn() -> (u64, u64)>,
@@ -261,7 +296,7 @@ pub fn run_engine_bench(
         .map(|&name| measure_workload(name, rounds, alloc_probe))
         .collect();
     EngineBenchReport {
-        schema: "bench-engine/v1".to_string(),
+        schema: "bench-engine/v2".to_string(),
         workloads,
     }
 }
@@ -284,9 +319,25 @@ mod tests {
     fn report_serializes() {
         let report = run_engine_bench(16, None);
         assert_eq!(report.workloads.len(), WORKLOADS.len());
+        assert_eq!(report.schema, "bench-engine/v2");
         let json = serde_json::to_string_pretty(&report).expect("serializable");
         let back: EngineBenchReport = serde_json::from_str(&json).expect("roundtrip");
         assert_eq!(back.workloads.len(), report.workloads.len());
         assert!(back.workloads.iter().all(|w| w.speedup > 0.0));
+        // v2: every workload measures all three tiers and the new ratio.
+        for w in &back.workloads {
+            assert_eq!(w.engines.len(), 3, "{}", w.name);
+            assert_eq!(w.engines[2].engine, "bitset");
+            assert!(w.bitset_speedup.expect("v2 carries the ratio") > 0.0);
+        }
+    }
+
+    #[test]
+    fn v1_workloads_parse_without_the_bitset_column() {
+        // Pre-bitset baselines (schema v1) must keep parsing for the
+        // regression gate's delta comparison.
+        let v1 = r#"{"name":"clique-64","n":64,"engines":[],"speedup":3.0}"#;
+        let w: WorkloadReport = serde_json::from_str(v1).expect("v1 row parses");
+        assert_eq!(w.bitset_speedup, None);
     }
 }

@@ -132,6 +132,133 @@ where
     Ok(())
 }
 
+/// [`run_trials`] with shared per-batch context: consecutive indices whose
+/// `key_of` values are equal (and `Some`) form a *batch*; `build` runs once
+/// per batch — on the batch's first index — and every trial in the batch
+/// receives a shared reference to the result. Trials whose key is `None`
+/// never share (their context is `None`).
+///
+/// This is the struct-of-arrays primitive behind scenario sweeps: units
+/// that differ only in their trial index freeze the same topology, so the
+/// adjacency/bitmask rows are built once and read by the whole batch
+/// instead of being rebuilt per trial.
+///
+/// The contract mirrors [`run_trials`]: results come back in index order,
+/// and for any `key_of`/`build`, `f(ctx, i)` must equal what the unbatched
+/// closure would produce for `i` — batching is a caching layer, never a
+/// semantic one. Keys are computed serially (they must be cheap); contexts
+/// are built in parallel across batches; trials then fan out in parallel
+/// across the *whole* window, so one giant batch still uses every core.
+///
+/// # Examples
+///
+/// ```
+/// use radio_bench::parallel::{run_trials, run_trials_batched};
+/// // Key: t / 4 (batches of 4); context: the key squared, built once.
+/// let batched = run_trials_batched(
+///     16,
+///     |t| Some(t / 4),
+///     |t| (t / 4) * (t / 4),
+///     |ctx, t| ctx.copied().unwrap() + t,
+/// );
+/// assert_eq!(batched, run_trials(16, |t| (t / 4) * (t / 4) + t));
+/// ```
+pub fn run_trials_batched<K, C, R, KF, BF, F>(trials: u64, key_of: KF, build: BF, f: F) -> Vec<R>
+where
+    K: PartialEq,
+    C: Send + Sync,
+    R: Send,
+    KF: Fn(u64) -> Option<K>,
+    BF: Fn(u64) -> C + Sync,
+    F: Fn(Option<&C>, u64) -> R + Sync,
+{
+    batched_window(0..trials, &key_of, &build, &f)
+}
+
+/// [`run_trials_chunked_range`] with [`run_trials_batched`]'s shared-batch
+/// execution inside each window. Batches are formed within a window only:
+/// a run of equal keys spanning a window boundary rebuilds its context in
+/// the next window, which costs one extra `build` but keeps windows
+/// self-contained — so the record stream is bit-identical at any chunk
+/// size, and resumable/sharded sweeps compose exactly as before.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero or the range is inverted.
+pub fn run_trials_batched_chunked_range<K, C, R, E, KF, BF, F, S>(
+    range: std::ops::Range<u64>,
+    chunk: u64,
+    key_of: KF,
+    build: BF,
+    f: F,
+    mut consume: S,
+) -> Result<(), E>
+where
+    K: PartialEq,
+    C: Send + Sync,
+    R: Send,
+    KF: Fn(u64) -> Option<K>,
+    BF: Fn(u64) -> C + Sync,
+    F: Fn(Option<&C>, u64) -> R + Sync,
+    S: FnMut(u64, Vec<R>) -> Result<(), E>,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    assert!(range.start <= range.end, "inverted index range");
+    let mut start = range.start;
+    while start < range.end {
+        let end = range.end.min(start.saturating_add(chunk));
+        let results = batched_window(start..end, &key_of, &build, &f);
+        consume(start, results)?;
+        start = end;
+    }
+    Ok(())
+}
+
+/// One batched window: group, build contexts, fan out.
+fn batched_window<K, C, R, KF, BF, F>(
+    window: std::ops::Range<u64>,
+    key_of: &KF,
+    build: &BF,
+    f: &F,
+) -> Vec<R>
+where
+    K: PartialEq,
+    C: Send + Sync,
+    R: Send,
+    KF: Fn(u64) -> Option<K>,
+    BF: Fn(u64) -> C + Sync,
+    F: Fn(Option<&C>, u64) -> R + Sync,
+{
+    // Pass 1 (serial): split the window into maximal runs of equal Some
+    // keys. `None`-keyed trials are their own context-less run.
+    let mut runs: Vec<(u64, u64, bool)> = Vec::new(); // (start, end, shared)
+    let mut prev: Option<K> = None;
+    for i in window.clone() {
+        let key = key_of(i);
+        let extends = key.is_some() && key == prev;
+        match runs.last_mut() {
+            Some(run) if extends => run.1 = i + 1,
+            _ => runs.push((i, i + 1, key.is_some())),
+        }
+        prev = key;
+    }
+    // Pass 2 (parallel across runs): build each shared run's context once,
+    // from the run's first index.
+    let contexts: Vec<Option<C>> = runs
+        .par_iter()
+        .map(|&(start, _, shared)| shared.then(|| build(start)))
+        .collect();
+    // Pass 3 (parallel across the whole window): every trial locates its
+    // run by binary search and borrows the shared context.
+    window
+        .into_par_iter()
+        .map(|i| {
+            let run = runs.partition_point(|&(start, _, _)| start <= i) - 1;
+            f(contexts[run].as_ref(), i)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +325,92 @@ mod tests {
     #[should_panic(expected = "chunk size must be positive")]
     fn chunked_rejects_zero_chunk() {
         let _ = run_trials_chunked(4, 0, |t| t, |_, _| Ok::<(), ()>(()));
+    }
+
+    #[test]
+    fn batched_matches_unbatched_across_key_shapes() {
+        // The unbatched reference: context derived per trial.
+        let ctx_of = |t: u64| t / 5;
+        let expect = run_trials(31, |t| ctx_of(t) * 1000 + t);
+        // One batch per 5 indices, one giant batch, singleton batches, and
+        // a keyless (never-shared) sweep all agree index-for-index.
+        let keys: [fn(u64) -> Option<u64>; 4] =
+            [|t| Some(t / 5), |_| Some(0), |t| Some(t), |_| None];
+        for (k, key_of) in keys.iter().enumerate() {
+            let got = run_trials_batched(31, key_of, ctx_of, |ctx, t| {
+                ctx.copied().unwrap_or_else(|| ctx_of(t)) * 1000 + t
+            });
+            // The giant-batch key shares ctx_of(0) across all trials, which
+            // only matches the reference for the t/5 key when contexts are
+            // genuinely equal — so compare against the batch-aware value.
+            let want: Vec<u64> = (0..31)
+                .map(|t| {
+                    let batch_head = match key_of(t) {
+                        Some(_) => (0..=t).rev().take_while(|&s| key_of(s) == key_of(t)).last(),
+                        None => None,
+                    };
+                    ctx_of(batch_head.unwrap_or(t)) * 1000 + t
+                })
+                .collect();
+            assert_eq!(got, want, "key shape {k}");
+        }
+        // And for the realistic key (context constant within a batch) the
+        // batched sweep is bit-identical to the unbatched one.
+        let got = run_trials_batched(
+            31,
+            |t| Some(t / 5),
+            ctx_of,
+            |ctx, t| ctx.copied().unwrap() * 1000 + t,
+        );
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn batched_builds_once_per_run() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let builds = AtomicU64::new(0);
+        let got = run_trials_batched(
+            12,
+            |t| Some(t / 4),
+            |t| {
+                builds.fetch_add(1, Ordering::Relaxed);
+                t / 4
+            },
+            |ctx, t| ctx.copied().unwrap() * 100 + t,
+        );
+        assert_eq!(builds.load(Ordering::Relaxed), 3, "one build per batch");
+        assert_eq!(got, (0..12).map(|t| (t / 4) * 100 + t).collect::<Vec<_>>());
+
+        // None keys never build.
+        builds.store(0, Ordering::Relaxed);
+        run_trials_batched(
+            8,
+            |_| None::<u64>,
+            |_| builds.fetch_add(1, Ordering::Relaxed),
+            |ctx, t| {
+                assert!(ctx.is_none());
+                t
+            },
+        );
+        assert_eq!(builds.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn batched_chunked_matches_unchunked_every_chunk_size() {
+        let key_of = |t: u64| (t / 7 != 1).then_some(t / 7); // run, gap, run
+        let build = |t: u64| t / 7;
+        let f = |ctx: Option<&u64>, t: u64| (ctx.copied(), t);
+        let expect = run_trials_batched(23, key_of, build, f);
+        for chunk in [1u64, 2, 3, 5, 7, 8, 22, 23, 1000] {
+            let mut got = Vec::new();
+            run_trials_batched_chunked_range(0..23, chunk, key_of, build, f, |start, results| {
+                assert_eq!(start, got.len() as u64);
+                got.extend(results);
+                Ok::<(), std::convert::Infallible>(())
+            })
+            .unwrap();
+            assert_eq!(got, expect, "chunk = {chunk}");
+        }
     }
 
     #[test]

@@ -43,7 +43,7 @@
 //!   never drops or duplicates a grid cell).
 
 use crate::aggregate::AggregateSpec;
-use crate::parallel::run_trials;
+use crate::parallel::run_trials_batched;
 use crate::stats::{dropped_points_note, loglog_exponent_counting};
 use crate::table::{f1, f3, Table};
 use hitting_games::{
@@ -407,12 +407,27 @@ impl ScenarioRun {
 
 /// Executes every planned unit of `spec` in parallel (results identical to
 /// the serial sweep) and collects the records.
+///
+/// Units that freeze the same network — consecutive trials of a
+/// deterministic topology under a net-building workload — share one built
+/// instance (adjacency *and* bitmask rows) through
+/// [`crate::parallel::run_trials_batched`]; see [`run_unit_with`] for why
+/// the records are bit-identical to the build-per-trial sweep.
 pub fn run_spec(spec: &ScenarioSpec) -> ScenarioRun {
     let units = spec.plan();
     let start = Instant::now();
-    let records = run_trials(units.len() as u64, |i| {
-        run_unit(spec, &units[usize::try_from(i).expect("unit index fits")])
-    });
+    let records = run_trials_batched(
+        units.len() as u64,
+        |i| shared_net_key(spec, i),
+        |i| build_shared_net(spec, i),
+        |shared, i| {
+            run_unit_with(
+                spec,
+                &units[usize::try_from(i).expect("unit index fits")],
+                shared,
+            )
+        },
+    );
     ScenarioRun {
         units,
         records,
@@ -527,12 +542,14 @@ pub fn run_spec_streaming_range_with(
     let units = range.end.saturating_sub(range.start);
     let start = Instant::now();
     let mut records = 0u64;
-    crate::parallel::run_trials_chunked_range(
+    crate::parallel::run_trials_batched_chunked_range(
         range,
         chunk,
-        |i| {
+        |i| shared_net_key(spec, i),
+        |i| build_shared_net(spec, i),
+        |shared, i| {
             let unit = spec.unit_at(i);
-            let recs = run_unit(spec, &unit);
+            let recs = run_unit_with(spec, &unit, shared);
             (unit, recs)
         },
         |window_start, window| {
@@ -555,8 +572,58 @@ pub fn run_spec_streaming_range_with(
     })
 }
 
-/// Executes one trial unit.
+/// The batch key of grid index `i` for shared-network execution, or `None`
+/// when the unit must build privately.
+///
+/// Sharing is sound exactly when (a) the workload builds a network at all
+/// and (b) the topology is deterministic
+/// ([`TopologyKind::is_deterministic`]): such builds produce the same
+/// network for every `net_seed` *and draw nothing from the stream*, so one
+/// frozen instance substitutes for every trial's private build without
+/// moving the detector-stream continuation. Random topologies differ per
+/// trial and never share. The key is the topology-axis index — trial is
+/// the innermost grid digit, so a cell's trials are consecutive and land
+/// in one batch.
+fn shared_net_key(spec: &ScenarioSpec, i: u64) -> Option<usize> {
+    let unit = spec.unit_at(i);
+    let builds_net = matches!(
+        spec.workloads[unit.work].kind,
+        Workload::Core { .. } | Workload::Broadcast { .. } | Workload::BackboneCompare { .. }
+    );
+    (builds_net && spec.topologies[unit.topo].kind.is_deterministic()).then_some(unit.topo)
+}
+
+/// Builds the shared network for the batch that grid index `i` opens.
+/// Errors are carried as the rendered string so every trial in the batch
+/// reports the identical failure record its private build would have.
+fn build_shared_net(spec: &ScenarioSpec, i: u64) -> Result<radio_sim::DualGraph, String> {
+    let unit = spec.unit_at(i);
+    let mut rng = StdRng::seed_from_u64(unit.net_seed);
+    spec.topologies[unit.topo]
+        .kind
+        .build_with(&mut rng)
+        .map_err(|e| e.to_string())
+}
+
+/// Executes one trial unit, building its network privately.
 pub(crate) fn run_unit(spec: &ScenarioSpec, unit: &TrialUnit) -> Vec<RunRecord> {
+    run_unit_with(spec, unit, None)
+}
+
+/// Executes one trial unit, borrowing `shared` as the frozen network when
+/// the batched runner provides one.
+///
+/// With `shared = None` this is the reference build-per-trial execution.
+/// With `Some`, the net-building workloads skip their private build but
+/// keep everything else identical — in particular the Core arm still seeds
+/// `net_rng` from `unit.net_seed`, because the detector stream continues
+/// that stream and deterministic builds leave it untouched (the invariant
+/// [`shared_net_key`] gates on).
+fn run_unit_with(
+    spec: &ScenarioSpec,
+    unit: &TrialUnit,
+    shared: Option<&Result<radio_sim::DualGraph, String>>,
+) -> Vec<RunRecord> {
     let topo = &spec.topologies[unit.topo].kind;
     let adversary = spec.adversaries[unit.adv];
     let entry = &spec.workloads[unit.work];
@@ -564,9 +631,17 @@ pub(crate) fn run_unit(spec: &ScenarioSpec, unit: &TrialUnit) -> Vec<RunRecord> 
     match &entry.kind {
         Workload::Core { algo } => {
             let mut net_rng = StdRng::seed_from_u64(unit.net_seed);
-            let net = match topo.build_with(&mut net_rng) {
-                Ok(net) => net,
-                Err(e) => return vec![RunRecord::failed(algo.name(), e.to_string())],
+            let owned;
+            let net = match shared {
+                Some(Ok(net)) => net,
+                Some(Err(e)) => return vec![RunRecord::failed(algo.name(), e.clone())],
+                None => match topo.build_with(&mut net_rng) {
+                    Ok(net) => {
+                        owned = net;
+                        &owned
+                    }
+                    Err(e) => return vec![RunRecord::failed(algo.name(), e.to_string())],
+                },
             };
             // The detector stream continues the topology stream unless the
             // workload pins an independent one.
@@ -575,7 +650,7 @@ pub(crate) fn run_unit(spec: &ScenarioSpec, unit: &TrialUnit) -> Vec<RunRecord> 
                 None => net_rng,
             };
             vec![run_algo(
-                &net,
+                net,
                 algo,
                 adversary,
                 unit.run_seed,
@@ -640,10 +715,19 @@ pub(crate) fn run_unit(spec: &ScenarioSpec, unit: &TrialUnit) -> Vec<RunRecord> 
             vec![rec]
         }
         Workload::Broadcast { decay, collider } => {
-            let mut net_rng = StdRng::seed_from_u64(unit.net_seed);
-            let net = match topo.build_with(&mut net_rng) {
-                Ok(net) => net,
-                Err(e) => return vec![RunRecord::failed(entry.kind.name(), e.to_string())],
+            // The engine consumes the network by value; a shared batch
+            // clones its frozen instance (cheap next to the build, and the
+            // cached bitmask rows come along).
+            let net = match shared {
+                Some(Ok(net)) => net.clone(),
+                Some(Err(e)) => return vec![RunRecord::failed(entry.kind.name(), e.clone())],
+                None => {
+                    let mut net_rng = StdRng::seed_from_u64(unit.net_seed);
+                    match topo.build_with(&mut net_rng) {
+                        Ok(net) => net,
+                        Err(e) => return vec![RunRecord::failed(entry.kind.name(), e.to_string())],
+                    }
+                }
             };
             let n = net.n();
             let delta = net.max_degree_g();
@@ -689,18 +773,33 @@ pub(crate) fn run_unit(spec: &ScenarioSpec, unit: &TrialUnit) -> Vec<RunRecord> 
             flood_seed,
             flood_budget,
         } => {
-            let mut net_rng = StdRng::seed_from_u64(unit.net_seed);
-            let net = match topo.build_with(&mut net_rng) {
-                Ok(net) => net,
-                Err(e) => {
+            let owned;
+            let net = match shared {
+                Some(Ok(net)) => net,
+                Some(Err(e)) => {
                     return vec![
-                        RunRecord::failed("backbone", e.to_string()),
-                        RunRecord::failed("flood-all", e.to_string()),
+                        RunRecord::failed("backbone", e.clone()),
+                        RunRecord::failed("flood-all", e.clone()),
                     ]
+                }
+                None => {
+                    let mut net_rng = StdRng::seed_from_u64(unit.net_seed);
+                    match topo.build_with(&mut net_rng) {
+                        Ok(net) => {
+                            owned = net;
+                            &owned
+                        }
+                        Err(e) => {
+                            return vec![
+                                RunRecord::failed("backbone", e.to_string()),
+                                RunRecord::failed("flood-all", e.to_string()),
+                            ]
+                        }
+                    }
                 }
             };
             radio_structures::runner::run_backbone_modes(
-                &net,
+                net,
                 adversary,
                 unit.run_seed,
                 *b,
@@ -1319,6 +1418,32 @@ mod tests {
         let table = render(&spec, &a);
         assert_eq!(table.rows.len(), spec.grid_size());
         assert!(table.rows.iter().all(|r| r.len() == table.header.len()));
+    }
+
+    #[test]
+    fn batched_shared_nets_match_private_builds() {
+        // tiny_spec mixes a deterministic clique (its trials share one
+        // frozen network) with a random geometric (never shared). Add a
+        // Broadcast workload so the by-value engine path is covered too;
+        // the batched sweep must be bit-identical to building every unit
+        // privately.
+        let mut spec = tiny_spec();
+        spec.stop = StopCondition::Rounds { max: 200 };
+        spec.workloads = vec![
+            WorkloadEntry::core(AlgoKind::Mis),
+            WorkloadEntry::new(Workload::Broadcast {
+                decay: true,
+                collider: false,
+            }),
+        ];
+        let run = run_spec(&spec);
+        let private: Vec<Vec<RunRecord>> = spec.plan().iter().map(|u| run_unit(&spec, u)).collect();
+        assert_eq!(run.records, private);
+        // The clique units carry a batch key; the random topology never
+        // shares.
+        assert!(shared_net_key(&spec, 0).is_some());
+        let geo = run.units.iter().position(|u| u.topo == 1).unwrap() as u64;
+        assert!(shared_net_key(&spec, geo).is_none());
     }
 
     #[test]

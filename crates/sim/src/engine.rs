@@ -13,17 +13,43 @@
 //!
 //! # Performance architecture
 //!
-//! [`Engine::step`] is the hot path of every experiment, so it is written
-//! for **steady-state zero heap allocation**: every per-round buffer lives
-//! in [`RoundScratch`], sized once at spawn and cleared (never freed) each
-//! round. Delivery is *broadcaster-centric*: instead of every listener
-//! scanning its whole neighborhood, each broadcaster scatters into
-//! epoch-stamped reach counters over the frozen CSR adjacency
-//! ([`crate::CsrGraph`]), costing `O(Σ deg(broadcasters))` — on sparse
-//! broadcast schedules (MIS-style contention reduction) this is far below
-//! the seed implementation's `O(Σ deg(listeners))` scan. Adversary-proposed
-//! unreliable edges are validated with an `O(1)`-amortized
-//! [`crate::NeighborStamps`] row test rather than a per-edge binary search.
+//! Stepping is the hot path of every experiment, and it comes in **three
+//! tiers**, each differentially pinned to the one below it by golden-trace
+//! tests (identical traces, transcripts, metrics, and outputs for the same
+//! seed):
+//!
+//! 1. [`Engine::step_legacy`] — the seed implementation, kept verbatim.
+//!    Allocates per-round buffers and scans every listener's full
+//!    neighborhood; the reference everything else is measured and tested
+//!    against.
+//! 2. [`Engine::step`] — the scalar scratch tier. **Steady-state zero heap
+//!    allocation**: every per-round buffer lives in [`RoundScratch`],
+//!    sized once at spawn and overwritten (never freed) each round.
+//!    Delivery is *broadcaster-centric*: each broadcaster scatters into
+//!    epoch-stamped reach counters over the frozen CSR adjacency
+//!    ([`crate::CsrGraph`]), costing `O(Σ deg(broadcasters))` — on sparse
+//!    broadcast schedules (MIS-style contention reduction) far below the
+//!    seed's `O(Σ deg(listeners))` scan. Adversary proposals are validated
+//!    with an `O(1)`-amortized [`crate::NeighborStamps`] row test.
+//! 3. [`Engine::step_bitset`] — the word-packed tier. Delivery ORs each
+//!    broadcaster's bitmask row ([`crate::BitRows`], `⌈n/64⌉` words per
+//!    node) into carry-save seen/collide accumulators
+//!    (`collide |= seen & row; seen |= row`), then overlays the
+//!    adversary's activated unreliable edges bit by bit — `O(B·⌈n/64⌉)`
+//!    word operations per round, a ~64× narrower inner loop than the
+//!    scalar scatter on dense graphs.
+//!
+//! **Tier selection.** The run loops ([`Engine::run`] and friends) pick
+//! between the scalar and bitset tiers once at spawn via
+//! [`EngineBuilder::step_mode`]. The default, [`StepMode::Auto`], chooses
+//! bitset when the reliable layer's average degree exceeds three row
+//! widths (`edge_slots ≥ 3·n·⌈n/64⌉` — the break-even point of the
+//! three row passes a bitset round makes against the scalar scatter) and
+//! `n` is small enough that the rows' `n·⌈n/64⌉` words stay cache-friendly
+//! (`n ≤ 16384`); otherwise the scalar tier runs. Dense workloads
+//! (cliques, dense RGGs) land on bitset, sparse ones (paths, bounded
+//! degree) on scalar. `step_legacy` is never auto-selected — it exists as
+//! the differential reference and benchmark baseline.
 //!
 //! The scratch invariants:
 //!
@@ -33,12 +59,16 @@
 //!   after the first few rounds, after which `clear()` frees nothing;
 //! * `reach_stamp` equality with the current round epoch marks a listener
 //!   as reached this round — stale entries are never cleared, just
-//!   outdated, so no `O(n)` zeroing happens between rounds.
+//!   outdated, so no `O(n)` zeroing happens between rounds. The epoch
+//!   advances **every round**, including broadcaster-less ones, where
+//!   stale reach state from earlier rounds must not deliver;
+//! * the bitset tier's `bit_seen`/`bit_collide` words are `⌈n/64⌉` long
+//!   and cleared (not reallocated) every round — the same
+//!   every-round-including-empty rule, enforced by a regression test that
+//!   alternates empty and dense broadcast rounds.
 //!
-//! The seed's straightforward implementation is preserved as
-//! [`Engine::step_legacy`]; a golden-trace test asserts both produce
-//! identical executions, and `BENCH_engine.json` tracks their relative
-//! throughput PR-over-PR.
+//! `BENCH_engine.json` tracks all three tiers' relative throughput
+//! PR-over-PR.
 
 use crate::adversary::{Adversary, ReliableOnly};
 use crate::detector::LinkDetectorAssignment;
@@ -91,6 +121,40 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// Which delivery tier the run loops step through (see the module docs'
+/// *Performance architecture*). `step_legacy` is not selectable — it is
+/// the differential reference, not a production tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepMode {
+    /// Resolve to [`StepMode::Scalar`] or [`StepMode::Bitset`] at spawn by
+    /// the density rule in the module docs.
+    #[default]
+    Auto,
+    /// Always step through the scalar scratch tier ([`Engine::step`]).
+    Scalar,
+    /// Always step through the word-packed tier ([`Engine::step_bitset`]).
+    Bitset,
+}
+
+/// Largest `n` at which [`StepMode::Auto`] may pick the bitset tier: the
+/// bitmask rows cost `n·⌈n/64⌉` words (33 MiB at this cap), past which
+/// the CSR scatter's cache behavior wins and the million-node direction
+/// wants implicit topologies anyway.
+const MAX_AUTO_BITSET_N: usize = 16_384;
+
+/// The density rule behind [`StepMode::Auto`]: a bitset round makes three
+/// row passes of `⌈n/64⌉` words per broadcaster, so it pays off once the
+/// average reliable degree exceeds three row widths.
+fn auto_step_mode(net: &DualGraph) -> StepMode {
+    let n = net.n();
+    let words = n.div_ceil(64);
+    if n > 0 && n <= MAX_AUTO_BITSET_N && net.g_csr().edge_slots() >= 3 * n * words {
+        StepMode::Bitset
+    } else {
+        StepMode::Scalar
+    }
+}
+
 /// Why a run loop stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
@@ -136,6 +200,7 @@ pub struct EngineBuilder {
     seed: u64,
     max_message_bits: Option<u64>,
     record_trace: bool,
+    step_mode: StepMode,
 }
 
 impl EngineBuilder {
@@ -150,6 +215,7 @@ impl EngineBuilder {
             seed: 0,
             max_message_bits: None,
             record_trace: false,
+            step_mode: StepMode::Auto,
         }
     }
 
@@ -194,6 +260,14 @@ impl EngineBuilder {
     /// Enables per-round trace recording (default: off).
     pub fn record_trace(mut self, on: bool) -> Self {
         self.record_trace = on;
+        self
+    }
+
+    /// Sets which delivery tier the run loops step through (default:
+    /// [`StepMode::Auto`] — resolved by density at spawn). All tiers
+    /// produce identical executions; this only selects the implementation.
+    pub fn step_mode(mut self, mode: StepMode) -> Self {
+        self.step_mode = mode;
         self
     }
 
@@ -262,6 +336,15 @@ impl EngineBuilder {
         } else {
             None
         };
+        let mode = match self.step_mode {
+            StepMode::Auto => auto_step_mode(&self.net),
+            m => m,
+        };
+        if mode == StepMode::Bitset {
+            // Build (and cache on the network) the bitmask rows up front,
+            // so the hot loop never pays the one-time cost mid-run.
+            self.net.g_bit_rows();
+        }
         Ok(Engine {
             net: self.net,
             ids,
@@ -280,6 +363,7 @@ impl EngineBuilder {
             max_message_bits: self.max_message_bits,
             decided_round: vec![None; n],
             static_sets,
+            mode,
             scratch: RoundScratch::new(n, extra_capacity),
         })
     }
@@ -309,7 +393,15 @@ struct RoundScratch<M> {
     /// Reachable-broadcaster count per listener (valid iff stamp == epoch).
     reach_count: Vec<u32>,
     /// First reachable broadcaster per listener (valid iff stamp == epoch).
+    /// The bitset tier reuses it as its delivering-source array: whenever a
+    /// listener's seen bit is set cleanly, the slot holds the sender.
     reach_first: Vec<u32>,
+    /// Bitset tier: listeners reached at least once this round, one bit
+    /// per node. Cleared (never reallocated) every round.
+    bit_seen: Vec<u64>,
+    /// Bitset tier: listeners reached at least twice this round (the
+    /// carry-save "seen twice" half of the pair).
+    bit_collide: Vec<u64>,
 }
 
 impl<M> RoundScratch<M> {
@@ -324,6 +416,8 @@ impl<M> RoundScratch<M> {
             reach_stamp: vec![0; n],
             reach_count: vec![0; n],
             reach_first: vec![0; n],
+            bit_seen: vec![0; n.div_ceil(64)],
+            bit_collide: vec![0; n.div_ceil(64)],
         }
     }
 }
@@ -370,6 +464,9 @@ pub struct Engine<P: Process> {
     /// Detector sets copied at spawn when the provider is static (see
     /// [`EngineBuilder::spawn`]); `None` for genuinely dynamic detectors.
     static_sets: Option<Vec<BTreeSet<u32>>>,
+    /// The resolved delivery tier the run loops step through (never
+    /// [`StepMode::Auto`] after spawn).
+    mode: StepMode,
     scratch: RoundScratch<P::Msg>,
 }
 
@@ -725,6 +822,186 @@ impl<P: Process> Engine<P> {
         self.finish_round(r, broadcaster_count, deliveries, collisions, extra_count);
     }
 
+    /// Executes one synchronous round through the word-packed delivery
+    /// tier (see the module docs' *Performance architecture*).
+    ///
+    /// Produces executions identical to [`Engine::step`] — same decide and
+    /// receive call order (hence the same per-process RNG streams), same
+    /// traces, transcripts, metrics, and outputs — for every adversary,
+    /// including malformed proposals; the golden-trace differential tests
+    /// pin the equivalence exactly the way `step` is pinned to
+    /// [`Engine::step_legacy`].
+    ///
+    /// Reach is computed as a carry-save bit pair over `⌈n/64⌉`-word
+    /// bitmask rows: for each broadcaster row,
+    /// `collide |= seen & row; seen |= row` — one-bit saturating counters
+    /// distinguishing "reached once" (clean delivery) from "reached twice
+    /// or more" (collision), which is all the model's delivery rule needs.
+    /// The adversary's activated unreliable edges overlay single bits, and
+    /// a second row pass records each cleanly reached listener's unique
+    /// source. Cost: `O(B·⌈n/64⌉ + extra + n)` word operations per round
+    /// for `B` broadcasters.
+    ///
+    /// Allocation-free in steady state. The bitmask rows are built (and
+    /// cached on the network) at spawn for engines resolved to
+    /// [`StepMode::Bitset`], or on the first call otherwise.
+    pub fn step_bitset(&mut self) {
+        let n = self.net.n();
+        self.round += 1;
+        let r = self.round;
+        self.metrics.rounds = r;
+
+        // Phase 1: every awake process decides — identical to `step`, so
+        // the RNG streams and broadcast metrics stay in lockstep.
+        self.scratch.broadcasters.clear();
+        for v in 0..n {
+            if self.wake_rounds[v] > r {
+                self.scratch.broadcasting[v] = false;
+                continue;
+            }
+            let det = detector_set(&self.static_sets, self.detectors.as_ref(), v, r);
+            let mut ctx = Context {
+                local_round: r - self.wake_rounds[v] + 1,
+                n,
+                my_id: self.ids.id_of(NodeId(v)),
+                detector: det,
+                rng: &mut self.rngs[v],
+            };
+            match self.procs[v].decide(&mut ctx) {
+                Action::Idle => {
+                    self.scratch.broadcasting[v] = false;
+                }
+                Action::Broadcast(m) => {
+                    let bits = m.bits();
+                    self.metrics.broadcasts += 1;
+                    self.metrics.bits_broadcast += bits;
+                    if let Some(b) = self.max_message_bits {
+                        if bits > b {
+                            self.metrics.oversize_messages += 1;
+                        }
+                    }
+                    self.scratch.broadcasting[v] = true;
+                    self.scratch.broadcasters.push(v as u32);
+                    self.scratch.msgs[v] = Some(m);
+                }
+            }
+        }
+        let broadcaster_count = self.scratch.broadcasters.len() as u32;
+
+        // Phase 2: the adversary picks the round's unreliable reach edges.
+        // The bitset path always normalizes, sorts, dedupes, and validates
+        // the proposal up front: partial carry-save updates cannot be
+        // rolled back the way the scalar path's epoch bump discards a
+        // failed fused pass, and built-in adversaries emit near-sorted
+        // lists so the allocation-free `sort_unstable` is cheap.
+        self.scratch.extra.clear();
+        self.adversary.extra_edges(
+            r,
+            &self.net,
+            &self.scratch.broadcasting,
+            &mut self.scratch.extra,
+        );
+        for e in &mut self.scratch.extra {
+            if e.0 > e.1 {
+                *e = (e.1, e.0);
+            }
+        }
+        self.sort_validate_extra(n);
+        let extra_count = self.scratch.extra.len() as u32;
+
+        // Phase 3: carry-save reach. seen/collide are cleared every round
+        // — including broadcaster-less ones, where stale bits from an
+        // earlier round must not deliver (the phantom-delivery bug class
+        // the scalar path's unconditional epoch bump guards against).
+        let words = n.div_ceil(64);
+        self.scratch.bit_seen[..words].fill(0);
+        self.scratch.bit_collide[..words].fill(0);
+        if broadcaster_count > 0 {
+            let rows = self.net.g_bit_rows();
+            let RoundScratch {
+                broadcasters,
+                broadcasting,
+                extra,
+                bit_seen,
+                bit_collide,
+                reach_first,
+                ..
+            } = &mut self.scratch;
+            for &u in broadcasters.iter() {
+                let row = rows.row(u as usize);
+                for w in 0..words {
+                    bit_collide[w] |= bit_seen[w] & row[w];
+                    bit_seen[w] |= row[w];
+                }
+            }
+            // Unreliable overlay: each validated activated edge with
+            // exactly one broadcasting endpoint adds a single bit (the
+            // equality test also drops both-broadcasting pairs). E' \ E is
+            // disjoint from E, so an extra edge never double-counts a row
+            // delivery from the same broadcaster.
+            for &(a, b) in extra.iter() {
+                if broadcasting[a] == broadcasting[b] {
+                    continue;
+                }
+                let (from, to) = if broadcasting[a] { (a, b) } else { (b, a) };
+                let (w, bit) = (to >> 6, 1u64 << (to & 63));
+                if bit_seen[w] & bit != 0 {
+                    bit_collide[w] |= bit;
+                } else {
+                    bit_seen[w] |= bit;
+                    reach_first[to] = from as u32;
+                }
+            }
+            // Second row pass: record the delivering source of every
+            // cleanly row-reached listener. A clean bit has exactly one
+            // reaching broadcaster (a second row or extra hit would have
+            // set collide), so exactly one row writes each slot.
+            for &u in broadcasters.iter() {
+                let row = rows.row(u as usize);
+                for w in 0..words {
+                    let mut hits = row[w] & bit_seen[w] & !bit_collide[w];
+                    while hits != 0 {
+                        let v = (w << 6) | hits.trailing_zeros() as usize;
+                        reach_first[v] = u;
+                        hits &= hits - 1;
+                    }
+                }
+            }
+        }
+
+        // Delivery: read each listener's bit pair — collide => ⊥ with a
+        // collision counted, seen => the recorded source's message,
+        // neither => silence. Same receive-call order as `step`.
+        let mut deliveries = 0u32;
+        let mut collisions = 0u32;
+        for v in 0..n {
+            if self.wake_rounds[v] > r || self.scratch.broadcasting[v] {
+                continue;
+            }
+            let (w, bit) = (v >> 6, 1u64 << (v & 63));
+            let delivered = if self.scratch.bit_collide[w] & bit != 0 {
+                collisions += 1;
+                None
+            } else if self.scratch.bit_seen[w] & bit != 0 {
+                deliveries += 1;
+                Some(self.scratch.reach_first[v] as usize)
+            } else {
+                None
+            };
+            let det = detector_set(&self.static_sets, self.detectors.as_ref(), v, r);
+            let mut ctx = Context {
+                local_round: r - self.wake_rounds[v] + 1,
+                n,
+                my_id: self.ids.id_of(NodeId(v)),
+                detector: det,
+                rng: &mut self.rngs[v],
+            };
+            let msg = delivered.and_then(|u| self.scratch.msgs[u].as_ref());
+            self.procs[v].receive(&mut ctx, msg);
+        }
+        self.finish_round(r, broadcaster_count, deliveries, collisions, extra_count);
+    }
+
     /// Sorts, dedupes, and validates the (already normalized) proposal in
     /// place — the full pass the tracing path needs so its recorded
     /// `extra_edges` count matches the legacy engine.
@@ -805,15 +1082,30 @@ impl<P: Process> Engine<P> {
                     stop: StopReason::MaxRounds,
                 };
             }
-            self.step();
+            self.step_selected();
         }
     }
 
     /// Runs exactly `rounds` additional rounds (regardless of outputs).
     pub fn run_rounds(&mut self, rounds: u64) {
         for _ in 0..rounds {
-            self.step();
+            self.step_selected();
         }
+    }
+
+    /// One round through the tier resolved at spawn (see [`StepMode`]).
+    #[inline]
+    fn step_selected(&mut self) {
+        match self.mode {
+            StepMode::Bitset => self.step_bitset(),
+            _ => self.step(),
+        }
+    }
+
+    /// The delivery tier the run loops step through, resolved at spawn
+    /// (never [`StepMode::Auto`]).
+    pub fn step_mode(&self) -> StepMode {
+        self.mode
     }
 
     /// The network being simulated.
@@ -1125,5 +1417,83 @@ mod tests {
         };
         assert_eq!(run(11), run(11));
         assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn auto_mode_resolves_by_density() {
+        // Dense: a 256-clique has edge_slots = 256·255 ≫ 3·256·4 words.
+        let clique = DualGraph::classic(Graph::complete(256)).unwrap();
+        let dense = EngineBuilder::new(clique)
+            .spawn(|_| Node::Chatter(Chatter))
+            .unwrap();
+        assert_eq!(dense.step_mode(), StepMode::Bitset);
+
+        // Sparse: a path has avg degree ~2, far under the 3-words-per-node
+        // break-even, so the scalar scatter stays selected.
+        let edges: Vec<_> = (0..255).map(|i| (i, i + 1)).collect();
+        let path = DualGraph::classic(Graph::from_edges(256, edges).unwrap()).unwrap();
+        let sparse = EngineBuilder::new(path)
+            .spawn(|_| Node::Chatter(Chatter))
+            .unwrap();
+        assert_eq!(sparse.step_mode(), StepMode::Scalar);
+
+        // Explicit overrides win over the density rule.
+        let forced = EngineBuilder::new(DualGraph::classic(Graph::complete(64)).unwrap())
+            .step_mode(StepMode::Scalar)
+            .spawn(|_| Node::Chatter(Chatter))
+            .unwrap();
+        assert_eq!(forced.step_mode(), StepMode::Scalar);
+    }
+
+    #[test]
+    fn bitset_tier_matches_scalar() {
+        // Random chatters over a clique with unreliable chords: the two
+        // tiers must produce identical traces and transcripts. (The broad
+        // differential suite lives in tests/determinism.rs; this is the
+        // in-crate smoke.)
+        struct Coin {
+            heard: Vec<Option<u32>>,
+        }
+        impl Process for Coin {
+            type Msg = u32;
+            fn decide(&mut self, ctx: &mut Context<'_>) -> Action<u32> {
+                if ctx.rng.gen_bool(0.3) {
+                    Action::Broadcast(ctx.my_id.get())
+                } else {
+                    Action::Idle
+                }
+            }
+            fn receive(&mut self, _: &mut Context<'_>, m: Option<&u32>) {
+                self.heard.push(m.copied());
+            }
+            fn output(&self) -> Option<bool> {
+                None
+            }
+        }
+        let net = || {
+            // G: dense circulant (70 nodes, offsets 1..=20, degree 40);
+            // G': the full clique, so E' \ E is a real unreliable layer.
+            let mut edges = Vec::new();
+            for i in 0..70usize {
+                for d in 1..=20 {
+                    edges.push((i, (i + d) % 70));
+                }
+            }
+            let g = Graph::from_edges(70, edges).unwrap();
+            DualGraph::new(g, Graph::complete(70)).unwrap()
+        };
+        let run = |mode| {
+            let mut e = EngineBuilder::new(net())
+                .seed(5)
+                .adversary(crate::adversary::AllUnreliable)
+                .record_trace(true)
+                .step_mode(mode)
+                .spawn(|_| Coin { heard: Vec::new() })
+                .unwrap();
+            e.run_rounds(40);
+            let heard: Vec<_> = e.procs().iter().map(|p| p.heard.clone()).collect();
+            (e.trace().unwrap().clone(), heard, *e.metrics())
+        };
+        assert_eq!(run(StepMode::Scalar), run(StepMode::Bitset));
     }
 }

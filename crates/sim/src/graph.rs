@@ -22,6 +22,21 @@
 //! once (`O(deg)`), then each query is an `O(1)` epoch-stamp comparison —
 //! amortized constant when queries are grouped by row, which is how the
 //! engine filters the adversary's proposed unreliable edges.
+//!
+//! Node ids and row offsets are stored as `u32` throughout the frozen
+//! forms — half the memory (and twice the cache reach) of `usize` on
+//! 64-bit targets; construction debug-asserts `n ≤ u32::MAX`.
+//!
+//! # Bitmask rows
+//!
+//! [`BitRows`] is the third adjacency form, derived from a [`CsrGraph`]:
+//! each node's neighborhood as a row of `⌈n/64⌉` `u64` words, one bit per
+//! potential neighbor. The bit-parallel delivery engine
+//! (`Engine::step_bitset`) ORs whole broadcaster rows into carry-save
+//! seen/collide accumulators — a ~64× narrower inner loop than the scalar
+//! scatter on dense graphs. Rows cost `n·⌈n/64⌉` words, so they are built
+//! lazily (see `DualGraph::g_bit_rows`) and only make sense at moderate
+//! `n`; the CSR remains the general-purpose form.
 
 use crate::ids::NodeId;
 use serde::{Deserialize, Serialize};
@@ -341,6 +356,10 @@ impl CsrGraph {
     where
         I: Iterator<Item = u32>,
     {
+        debug_assert!(
+            u32::try_from(n).is_ok(),
+            "CSR node ids are u32; graph has {n} vertices"
+        );
         let mut offsets = Vec::with_capacity(n + 1);
         let mut neighbors = Vec::new();
         offsets.push(0);
@@ -391,6 +410,60 @@ impl CsrGraph {
     #[inline]
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
         u < self.n() && v < self.n() && self.neighbors(u).binary_search(&(v as u32)).is_ok()
+    }
+}
+
+/// Word-packed adjacency: each node's neighborhood as a row of
+/// `⌈n/64⌉` `u64` words, bit `v` of row `u` set iff `{u, v}` is an edge.
+///
+/// This is the layout the bit-parallel delivery engine consumes: delivery
+/// for a round is a word-wise OR of the broadcasters' rows into carry-save
+/// seen/collide accumulators, so the per-broadcaster cost is `⌈n/64⌉`
+/// word operations regardless of degree. Rows occupy `n·⌈n/64⌉·8` bytes
+/// (2 MiB at `n = 4096`), which is why they are derived on demand from
+/// the CSR rather than built for every network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitRows {
+    n: usize,
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl BitRows {
+    /// Packs a [`CsrGraph`]'s adjacency into bitmask rows.
+    pub fn from_csr(csr: &CsrGraph) -> Self {
+        let n = csr.n();
+        let words = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words];
+        for u in 0..n {
+            let row = &mut bits[u * words..(u + 1) * words];
+            for &v in csr.neighbors(u) {
+                row[(v >> 6) as usize] |= 1u64 << (v & 63);
+            }
+        }
+        BitRows { n, words, bits }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Words per row (`⌈n/64⌉`).
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The bitmask row of `u`, `words()` long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n`.
+    #[inline]
+    pub fn row(&self, u: usize) -> &[u64] {
+        &self.bits[u * self.words..(u + 1) * self.words]
     }
 }
 
@@ -535,6 +608,31 @@ mod tests {
             }
         }
         assert!(!csr.has_edge(0, 9));
+    }
+
+    #[test]
+    fn bit_rows_match_csr() {
+        // 70 vertices forces a two-word row, covering the word boundary.
+        let mut g = Graph::new(70);
+        for v in 1..70 {
+            g.add_edge(0, v); // star keeps it connected-ish and dense at 0
+        }
+        g.add_edge(3, 65);
+        g.add_edge(64, 69);
+        let csr = g.to_csr();
+        let rows = BitRows::from_csr(&csr);
+        assert_eq!(rows.n(), 70);
+        assert_eq!(rows.words(), 2);
+        for u in 0..70 {
+            let row = rows.row(u);
+            for v in 0..70 {
+                let bit = row[v >> 6] >> (v & 63) & 1 == 1;
+                assert_eq!(bit, g.has_edge(u, v), "bit ({u}, {v})");
+            }
+        }
+        // Exact multiples of 64 use no padding word.
+        let k = Graph::complete(64).to_csr();
+        assert_eq!(BitRows::from_csr(&k).words(), 1);
     }
 
     #[test]

@@ -78,8 +78,8 @@ mod trace;
 pub use adversary::Adversary;
 pub use detector::{LinkDetectorAssignment, SpuriousSource};
 pub use dynamic::{DetectorProvider, DynamicDetector, DynamicDetectorError};
-pub use engine::{Engine, EngineBuilder, EngineError, RunOutcome, SpawnInfo, StopReason};
-pub use graph::{CsrGraph, Graph, GraphError, NeighborStamps};
+pub use engine::{Engine, EngineBuilder, EngineError, RunOutcome, SpawnInfo, StepMode, StopReason};
+pub use graph::{BitRows, CsrGraph, Graph, GraphError, NeighborStamps};
 pub use ids::{IdAssignment, NodeId, ProcessId};
 pub use network::{DualGraph, NetworkError};
 pub use process::{Action, Context, MessageSize, Process, ProcessRng};

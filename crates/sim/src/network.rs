@@ -12,9 +12,10 @@
 //! of unpredictable connectivity.
 
 use crate::geometry::Point;
-use crate::graph::{CsrGraph, Graph};
+use crate::graph::{BitRows, CsrGraph, Graph};
 use serde::value::{field, DeError, Value};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Errors from constructing or validating a [`DualGraph`].
 #[derive(Debug, Clone, PartialEq)]
@@ -128,6 +129,11 @@ pub struct DualGraph {
     csr_g_prime: Option<CsrGraph>,
     csr_unreliable: CsrGraph,
     unreliable_list: Vec<(usize, usize)>,
+    /// Word-packed reliable-layer adjacency for the bit-parallel delivery
+    /// engine. Built on first use (rows cost `n·⌈n/64⌉` words, which
+    /// scalar-only runs should never pay); one layer suffices because the
+    /// adversary's unreliable picks arrive as an edge list each round.
+    bit_g: OnceLock<BitRows>,
 }
 
 impl DualGraph {
@@ -171,6 +177,7 @@ impl DualGraph {
             csr_g_prime,
             csr_unreliable,
             unreliable_list,
+            bit_g: OnceLock::new(),
         }
     }
 
@@ -285,6 +292,14 @@ impl DualGraph {
     #[inline]
     pub fn unreliable_csr(&self) -> &CsrGraph {
         &self.csr_unreliable
+    }
+
+    /// The reliable layer as word-packed bitmask rows ([`BitRows`]), the
+    /// form `Engine::step_bitset` delivers from. Built from the CSR on
+    /// first call and cached for the network's lifetime, so trials that
+    /// share a network also share one build.
+    pub fn g_bit_rows(&self) -> &BitRows {
+        self.bit_g.get_or_init(|| BitRows::from_csr(&self.csr_g))
     }
 
     /// The unreliable edges as a precomputed flat list of pairs `u < v`.
@@ -425,6 +440,26 @@ mod tests {
             DualGraph::new(g, gp),
             Err(NetworkError::LayerSizeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn bit_rows_lazily_built_and_match_g() {
+        let g = path(5);
+        let mut gp = g.clone();
+        gp.add_edge(0, 4);
+        let net = DualGraph::new(g, gp).unwrap();
+        let rows = net.g_bit_rows();
+        assert_eq!(rows.n(), 5);
+        for u in 0..5 {
+            for v in 0..5 {
+                let bit = rows.row(u)[v >> 6] >> (v & 63) & 1 == 1;
+                assert_eq!(bit, net.g().has_edge(u, v), "bit ({u}, {v})");
+            }
+        }
+        // Unreliable edges are not in the reliable rows.
+        assert_eq!(rows.row(0)[0] >> 4 & 1, 0);
+        // Repeated calls return the same cached build.
+        assert!(std::ptr::eq(net.g_bit_rows(), rows));
     }
 
     #[test]

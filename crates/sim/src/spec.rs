@@ -279,6 +279,21 @@ impl TopologyKind {
         self.build_with(&mut StdRng::seed_from_u64(seed))
     }
 
+    /// Whether [`TopologyKind::build_with`] ignores its RNG: deterministic
+    /// kinds build the same network for every seed **and leave the stream
+    /// untouched**, so a sweep may freeze one instance and share it across
+    /// trials (the batched runner's contract) without perturbing the
+    /// detector streams that continue the topology stream.
+    pub fn is_deterministic(&self) -> bool {
+        matches!(
+            *self,
+            TopologyKind::Clique { .. }
+                | TopologyKind::Path { .. }
+                | TopologyKind::PathChords { .. }
+                | TopologyKind::TwoCliqueBridge { .. }
+        )
+    }
+
     /// The number of nodes this kind will produce (grid/clustered kinds
     /// compute it from their shape parameters).
     pub fn n(&self) -> usize {

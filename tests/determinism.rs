@@ -1,11 +1,13 @@
-//! Determinism regression tests for the engine rewrite.
+//! Determinism regression tests for the engine rewrites.
 //!
 //! The scratch-buffer engine (`Engine::step`) must produce executions
 //! *identical* to the seed implementation (`Engine::step_legacy`) — same
 //! per-round trace (broadcasters, deliveries, collisions, activated
 //! edges), same metrics, same outputs — for every adversary, because both
-//! drive the same process RNG streams. And the parallel trial runner must
-//! be bit-identical to the serial loop it replaced.
+//! drive the same process RNG streams. The word-packed tier
+//! (`Engine::step_bitset`) is pinned to `step` by the same differential
+//! contract, tier by tier. And the parallel trial runner must be
+//! bit-identical to the serial loop it replaced.
 
 use radio_sim::adversary::{
     AllUnreliable, BurstyUnreliable, CliqueIsolator, Collider, RandomUnreliable, ReliableOnly,
@@ -61,10 +63,20 @@ fn nets() -> Vec<(&'static str, DualGraph)> {
         DualGraph::new(g, gp).expect("valid dual graph")
     };
     let classic = DualGraph::classic(Graph::complete(10)).expect("connected");
+    // 70 nodes total: the bitset rows span two words, crossing the word
+    // boundary the smaller nets never reach.
+    let two_clique = radio_sim::spec::TopologyKind::TwoCliqueBridge {
+        beta: 35,
+        bridge_a: 3,
+        bridge_b: 7,
+    }
+    .build(0)
+    .expect("two-clique builds");
     vec![
         ("rgg-48", rgg),
         ("chords-16", path_with_chords),
         ("clique-10", classic),
+        ("two-clique-35", two_clique),
     ]
 }
 
@@ -100,14 +112,21 @@ type Capture = (
     radio_sim::ExecutionMetrics,
 );
 
-/// Runs `rounds` rounds and captures a [`Capture`] for either engine
-/// implementation.
+/// Which engine implementation a capture steps through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    Legacy,
+    Scalar,
+    Bitset,
+}
+
+/// Runs `rounds` rounds and captures a [`Capture`] for one engine tier.
 fn capture(
     net: &DualGraph,
     adversary: Box<dyn Adversary>,
     seed: u64,
     rounds: u64,
-    legacy: bool,
+    tier: Tier,
     record_trace: bool,
 ) -> Capture {
     let mut engine = EngineBuilder::new(net.clone())
@@ -121,10 +140,10 @@ fn capture(
         })
         .expect("engine assembles");
     for _ in 0..rounds {
-        if legacy {
-            engine.step_legacy();
-        } else {
-            engine.step();
+        match tier {
+            Tier::Legacy => engine.step_legacy(),
+            Tier::Scalar => engine.step(),
+            Tier::Bitset => engine.step_bitset(),
         }
     }
     let heard = engine.procs().iter().map(|p| p.heard.clone()).collect();
@@ -136,48 +155,58 @@ fn capture(
     )
 }
 
-#[test]
-fn golden_trace_scratch_matches_legacy() {
+/// Asserts the differential contract between two tiers over the full
+/// net × adversary × seed grid.
+fn assert_tiers_agree(reference: Tier, candidate: Tier) {
     for (net_name, net) in nets() {
         for (adv_name, make) in adversaries() {
             for seed in [1u64, 42] {
-                let new = capture(&net, make(), seed, 60, false, true);
-                let old = capture(&net, make(), seed, 60, true, true);
-                assert_eq!(
-                    new.0, old.0,
-                    "trace diverged on {net_name}/{adv_name}/seed {seed}"
-                );
-                assert_eq!(
-                    new.1, old.1,
-                    "receive transcripts diverged on {net_name}/{adv_name}/seed {seed}"
-                );
-                assert_eq!(new.2, old.2, "outputs diverged on {net_name}/{adv_name}");
-                assert_eq!(new.3, old.3, "metrics diverged on {net_name}/{adv_name}");
+                let new = capture(&net, make(), seed, 60, candidate, true);
+                let old = capture(&net, make(), seed, 60, reference, true);
+                let ctx =
+                    format!("{net_name}/{adv_name}/seed {seed} ({candidate:?} vs {reference:?})");
+                assert_eq!(new.0, old.0, "trace diverged on {ctx}");
+                assert_eq!(new.1, old.1, "receive transcripts diverged on {ctx}");
+                assert_eq!(new.2, old.2, "outputs diverged on {ctx}");
+                assert_eq!(new.3, old.3, "metrics diverged on {ctx}");
             }
         }
     }
 }
 
 #[test]
+fn golden_trace_scratch_matches_legacy() {
+    assert_tiers_agree(Tier::Legacy, Tier::Scalar);
+}
+
+#[test]
+fn golden_trace_bitset_matches_scratch() {
+    assert_tiers_agree(Tier::Scalar, Tier::Bitset);
+}
+
+#[test]
 fn tracing_off_does_not_change_behavior() {
-    // The no-trace fast path skips non-incident proposal processing; the
-    // observable execution must be unchanged.
-    for (net_name, net) in nets() {
-        for (adv_name, make) in adversaries() {
-            let traced = capture(&net, make(), 7, 60, false, true);
-            let untraced = capture(&net, make(), 7, 60, false, false);
-            assert_eq!(
-                traced.1, untraced.1,
-                "transcripts diverged on {net_name}/{adv_name}"
-            );
-            assert_eq!(
-                traced.2, untraced.2,
-                "outputs diverged on {net_name}/{adv_name}"
-            );
-            assert_eq!(
-                traced.3, untraced.3,
-                "metrics diverged on {net_name}/{adv_name}"
-            );
+    // The scalar no-trace fast path skips non-incident proposal
+    // processing; the bitset path normalizes unconditionally. Either way
+    // the observable execution must not depend on whether a trace records.
+    for tier in [Tier::Scalar, Tier::Bitset] {
+        for (net_name, net) in nets() {
+            for (adv_name, make) in adversaries() {
+                let traced = capture(&net, make(), 7, 60, tier, true);
+                let untraced = capture(&net, make(), 7, 60, tier, false);
+                assert_eq!(
+                    traced.1, untraced.1,
+                    "transcripts diverged on {net_name}/{adv_name} ({tier:?})"
+                );
+                assert_eq!(
+                    traced.2, untraced.2,
+                    "outputs diverged on {net_name}/{adv_name} ({tier:?})"
+                );
+                assert_eq!(
+                    traced.3, untraced.3,
+                    "metrics diverged on {net_name}/{adv_name} ({tier:?})"
+                );
+            }
         }
     }
 }
@@ -214,49 +243,141 @@ impl Adversary for MessyAdversary {
 
 #[test]
 fn disorderly_adversaries_are_normalized_identically() {
+    let messy = || {
+        Box::new(MessyAdversary {
+            inner: RandomUnreliable::new(0.4, 9),
+        })
+    };
     for (net_name, net) in nets() {
-        let new = capture(
-            &net,
-            Box::new(MessyAdversary {
-                inner: RandomUnreliable::new(0.4, 9),
-            }),
-            3,
-            60,
-            false,
-            true,
-        );
-        let old = capture(
-            &net,
-            Box::new(MessyAdversary {
-                inner: RandomUnreliable::new(0.4, 9),
-            }),
-            3,
-            60,
-            true,
-            true,
-        );
-        assert_eq!(new.0, old.0, "trace diverged on {net_name}/messy");
-        assert_eq!(new.1, old.1, "transcripts diverged on {net_name}/messy");
-        assert_eq!(new.3, old.3, "metrics diverged on {net_name}/messy");
-        // And the no-trace path agrees on everything observable.
-        let untraced = capture(
-            &net,
-            Box::new(MessyAdversary {
-                inner: RandomUnreliable::new(0.4, 9),
-            }),
-            3,
-            60,
-            false,
-            false,
+        let old = capture(&net, messy(), 3, 60, Tier::Legacy, true);
+        for tier in [Tier::Scalar, Tier::Bitset] {
+            let new = capture(&net, messy(), 3, 60, tier, true);
+            assert_eq!(
+                new.0, old.0,
+                "trace diverged on {net_name}/messy ({tier:?})"
+            );
+            assert_eq!(
+                new.1, old.1,
+                "transcripts diverged on {net_name}/messy ({tier:?})"
+            );
+            assert_eq!(
+                new.3, old.3,
+                "metrics diverged on {net_name}/messy ({tier:?})"
+            );
+            // And the no-trace path agrees on everything observable.
+            let untraced = capture(&net, messy(), 3, 60, tier, false);
+            assert_eq!(
+                new.1, untraced.1,
+                "no-trace transcripts diverged on {net_name}/messy ({tier:?})"
+            );
+            assert_eq!(
+                new.3, untraced.3,
+                "no-trace metrics diverged on {net_name}/messy ({tier:?})"
+            );
+        }
+    }
+}
+
+/// A process alternating silence and broadcast rounds: chatty nodes
+/// broadcast on odd local rounds, nobody on even ones.
+struct AlternatingChatter {
+    chatty: bool,
+    heard: Vec<Option<u32>>,
+    rounds: u64,
+}
+
+impl Process for AlternatingChatter {
+    type Msg = u32;
+
+    fn decide(&mut self, ctx: &mut Context<'_>) -> Action<u32> {
+        self.rounds += 1;
+        if self.chatty && self.rounds % 2 == 1 {
+            Action::Broadcast(ctx.my_id.get())
+        } else {
+            Action::Idle
+        }
+    }
+
+    fn receive(&mut self, _: &mut Context<'_>, msg: Option<&u32>) {
+        self.heard.push(msg.copied());
+    }
+
+    fn output(&self) -> Option<bool> {
+        None
+    }
+
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+#[test]
+fn bitset_clears_reach_words_on_broadcaster_less_rounds() {
+    // The PR 1 phantom-delivery bug class: reach state surviving a
+    // broadcaster-less round delivers ghosts in the next one. The bitset
+    // tier must clear its seen/collide words every round — including empty
+    // ones — exactly as the scalar tier's epoch advances unconditionally.
+    // Alternate dense rounds (every node broadcasts → all-collide silence)
+    // with empty rounds; a single-broadcaster variant then checks clean
+    // deliveries don't echo.
+    let net = DualGraph::classic(Graph::complete(12)).expect("connected");
+    let run = |tier: Tier, all_chatty: bool| {
+        let mut engine = EngineBuilder::new(net.clone())
+            .seed(3)
+            .record_trace(true)
+            .spawn(|info| AlternatingChatter {
+                chatty: all_chatty || info.node.index() == 0,
+                heard: Vec::new(),
+                rounds: 0,
+            })
+            .expect("engine assembles");
+        for _ in 0..40 {
+            match tier {
+                Tier::Legacy => engine.step_legacy(),
+                Tier::Scalar => engine.step(),
+                Tier::Bitset => engine.step_bitset(),
+            }
+        }
+        let heard: Vec<Vec<Option<u32>>> = engine.procs().iter().map(|p| p.heard.clone()).collect();
+        (engine.trace().cloned(), heard, *engine.metrics())
+    };
+    for all_chatty in [true, false] {
+        let bitset = run(Tier::Bitset, all_chatty);
+        assert_eq!(
+            bitset,
+            run(Tier::Scalar, all_chatty),
+            "bitset diverged from scalar (all_chatty = {all_chatty})"
         );
         assert_eq!(
-            new.1, untraced.1,
-            "no-trace transcripts diverged on {net_name}/messy"
+            bitset,
+            run(Tier::Legacy, all_chatty),
+            "bitset diverged from legacy (all_chatty = {all_chatty})"
         );
-        assert_eq!(
-            new.3, untraced.3,
-            "no-trace metrics diverged on {net_name}/messy"
+    }
+    // Dense variant: odd rounds are all-broadcast (nobody listens); the
+    // even rounds must hear silence at every node — any Some here is a
+    // phantom delivery from stale reach words.
+    let dense = run(Tier::Bitset, true);
+    for heard in &dense.1 {
+        assert_eq!(heard.len(), 20, "one reception per even round");
+        assert!(
+            heard.iter().all(Option::is_none),
+            "phantom delivery on an empty round"
         );
+    }
+    assert_eq!(dense.2.deliveries, 0);
+    // Solo variant: node 0 delivers cleanly on odd rounds; a stale *seen*
+    // bit surviving into the following empty round would re-deliver it.
+    let solo = run(Tier::Bitset, false);
+    for heard in &solo.1[1..] {
+        assert_eq!(heard.len(), 40, "listeners receive every round");
+        for (i, h) in heard.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(h.is_some(), "clean delivery expected on odd rounds");
+            } else {
+                assert!(h.is_none(), "phantom delivery echoed into an empty round");
+            }
+        }
     }
 }
 

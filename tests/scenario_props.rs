@@ -1,7 +1,8 @@
 //! Property-based tests of the declarative scenario subsystem: arbitrary
-//! `ScenarioSpec`s round-trip losslessly through the vendored serde, and
-//! the sweep planner's expansion is exactly the grid product with
-//! index-derived seeds.
+//! `ScenarioSpec`s round-trip losslessly through the vendored serde, the
+//! sweep planner's expansion is exactly the grid product with
+//! index-derived seeds, and the shared-context batched trial runner is
+//! index-for-index identical to the unbatched one.
 
 use proptest::prelude::*;
 use radio_bench::aggregate::{
@@ -259,5 +260,38 @@ proptest! {
         let mut sorted = outer.clone();
         sorted.sort_unstable();
         prop_assert!(outer == sorted, "outermost axis not contiguous");
+    }
+
+    #[test]
+    fn batched_trials_match_unbatched_index_for_index(
+        trials in 0u64..200,
+        width in 1u64..9,
+        chunk in 1u64..50,
+        salt in 0u64..1000,
+    ) {
+        // Batches are runs of equal `i / width` keys, broken by periodic
+        // keyless indices; the context depends only on the key, so the
+        // shared build (from the batch's first index) must reproduce the
+        // per-index derivation exactly.
+        let gap = salt % 5 + 2;
+        let key_of = move |i: u64| (!i.is_multiple_of(gap)).then_some(i / width);
+        let ctx_of = move |i: u64| (i / width).wrapping_mul(salt | 1);
+        let f = move |ctx: Option<&u64>, i: u64| ctx.copied().unwrap_or_else(|| ctx_of(i)) ^ i;
+        let expect = radio_bench::run_trials(trials, move |i| ctx_of(i) ^ i);
+        let batched =
+            radio_bench::parallel::run_trials_batched(trials, key_of, ctx_of, f);
+        prop_assert_eq!(&batched, &expect);
+        // And the chunked-range form concatenates to the same stream at
+        // any chunk size (batches never span a window).
+        let mut streamed = Vec::new();
+        radio_bench::parallel::run_trials_batched_chunked_range(
+            0..trials, chunk, key_of, ctx_of, f,
+            |start, results| {
+                prop_assert_eq!(start, streamed.len() as u64);
+                streamed.extend(results);
+                Ok(())
+            },
+        )?;
+        prop_assert_eq!(&streamed, &expect);
     }
 }

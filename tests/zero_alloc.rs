@@ -1,11 +1,14 @@
-//! Steady-state zero-allocation test for `Engine::step()`.
+//! Steady-state zero-allocation test for `Engine::step()` and
+//! `Engine::step_bitset()`.
 //!
 //! This file holds exactly one test so the counting global allocator sees
 //! no concurrent allocations from sibling tests. After a warmup that
-//! high-water-marks every scratch buffer, stepping the engine must not
-//! touch the heap at all — on any canonical workload.
+//! high-water-marks every scratch buffer (and, for the bitset tier, built
+//! the cached bitmask rows), stepping the engine must not touch the heap
+//! at all — on any canonical workload, in either zero-alloc tier.
 
-use radio_bench::enginebench::{workload_engine, WORKLOADS};
+use radio_bench::enginebench::{workload_engine_mode, WORKLOADS};
+use radio_sim::StepMode;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -35,16 +38,21 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[test]
 fn step_is_allocation_free_in_steady_state() {
-    for name in WORKLOADS {
-        let mut engine = workload_engine(name);
-        engine.run_rounds(128); // grow every scratch buffer to its high-water mark
-        let before = ALLOCS.load(Ordering::Relaxed);
-        engine.run_rounds(512);
-        let after = ALLOCS.load(Ordering::Relaxed);
-        assert_eq!(
-            after - before,
-            0,
-            "{name}: Engine::step() allocated in steady state"
-        );
+    for mode in [StepMode::Scalar, StepMode::Bitset] {
+        for name in WORKLOADS {
+            // The pinned mode routes `run_rounds` through the tier under
+            // test; Bitset spawns also pre-build the bitmask rows, and the
+            // warmup would cover a lazy build anyway.
+            let mut engine = workload_engine_mode(name, mode);
+            engine.run_rounds(128); // grow every scratch buffer to its high-water mark
+            let before = ALLOCS.load(Ordering::Relaxed);
+            engine.run_rounds(512);
+            let after = ALLOCS.load(Ordering::Relaxed);
+            assert_eq!(
+                after - before,
+                0,
+                "{name}: the {mode:?} tier allocated in steady state"
+            );
+        }
     }
 }
