@@ -19,20 +19,28 @@
 //!   [`Collider`](radio_sim::adversary::Collider), the cheap-per-round /
 //!   adversary-heavy regime.
 //!
-//! Each workload runs on **all three engine tiers** — the scratch-buffer
+//! Each workload runs on **all four engine tiers** — the scratch-buffer
 //! engine ([`Engine::step`]), the seed implementation kept as
-//! [`Engine::step_legacy`], and the word-packed [`Engine::step_bitset`] —
-//! so every generated `BENCH_engine.json` (schema `bench-engine/v2`)
-//! records the baseline, the scratch/legacy speedup, and the
-//! bitset/scratch speedup in the same artifact.
+//! [`Engine::step_legacy`], the word-packed [`Engine::step_bitset`], and
+//! the struct-of-arrays multi-trial [`BatchedEngine`] stepping
+//! [`BATCHED_TRIALS`] independent trials per round over shared bitmask
+//! rows — so every generated `BENCH_engine.json` (schema `bench-engine/v3`)
+//! records the baseline, the scratch/legacy speedup, the bitset/scratch
+//! speedup, and the batched/bitset speedup in the same artifact. The
+//! batched column's throughput is **trial-rounds per second** (`B` trials
+//! advancing one round counts `B`), so the batched/bitset ratio reads
+//! directly as the per-trial amortization factor.
 //!
 //! [`Engine::step`]: radio_sim::Engine::step
 //! [`Engine::step_legacy`]: radio_sim::Engine::step_legacy
 //! [`Engine::step_bitset`]: radio_sim::Engine::step_bitset
+//! [`BatchedEngine`]: radio_sim::BatchedEngine
 
 use radio_sim::adversary::{Collider, RandomUnreliable};
 use radio_sim::topology::{random_geometric, RandomGeometricConfig};
-use radio_sim::{Action, Context, DualGraph, Engine, EngineBuilder, Graph, Process, StepMode};
+use radio_sim::{
+    Action, BatchedEngine, Context, DualGraph, Engine, EngineBuilder, Graph, Process, StepMode,
+};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -99,6 +107,11 @@ pub const WORKLOADS: [&str; 5] = [
 /// (MIS-style sparse contention).
 pub const CHATTER_P: f64 = 0.05;
 
+/// Trials per batch in the batched-tier measurement (`B`). Large enough
+/// to amortize each broadcaster's row fetch across a cache-hot stripe
+/// walk, small enough that the whole batch's planes stay resident.
+pub const BATCHED_TRIALS: usize = 32;
+
 /// Builds a canonical workload network by name.
 ///
 /// # Panics
@@ -138,8 +151,15 @@ pub fn workload_engine(name: &str) -> Engine<Chatter> {
 /// at spawn (outside the measured steady state) on every workload,
 /// including the sparse ones Auto would route to the scalar tier.
 pub fn workload_engine_mode(name: &str, mode: StepMode) -> Engine<Chatter> {
+    workload_engine_seeded(name, mode, 7)
+}
+
+/// [`workload_engine_mode`] with an explicit engine seed — the batched
+/// measurement gives each of its `B` trials a distinct seed (`7 + trial`),
+/// matching how a sweep's trial seeds differ.
+pub fn workload_engine_seeded(name: &str, mode: StepMode, seed: u64) -> Engine<Chatter> {
     let net = workload_net(name);
-    let builder = EngineBuilder::new(net).seed(7).step_mode(mode);
+    let builder = EngineBuilder::new(net).seed(seed).step_mode(mode);
     let builder = match name {
         "sparse-256" => builder.adversary(Collider),
         _ => builder.adversary(RandomUnreliable::new(0.5, 11)),
@@ -149,13 +169,26 @@ pub fn workload_engine_mode(name: &str, mode: StepMode) -> Engine<Chatter> {
         .expect("workload engines assemble")
 }
 
+/// Builds the batched-tier measurement unit for a workload: a
+/// [`BatchedEngine`] of [`BATCHED_TRIALS`] trials with distinct seeds,
+/// every trial pinned to the bitset phase semantics over one shared set
+/// of bitmask rows.
+pub fn workload_batched_engine(name: &str) -> BatchedEngine<Chatter> {
+    BatchedEngine::new(
+        (0..BATCHED_TRIALS)
+            .map(|t| workload_engine_seeded(name, StepMode::Bitset, 7 + t as u64))
+            .collect(),
+    )
+}
+
 /// One measured engine configuration within a workload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineMeasurement {
-    /// `"scratch"` (`step()`), `"legacy"` (seed implementation), or
-    /// `"bitset"` (word-packed `step_bitset()`).
+    /// `"scratch"` (`step()`), `"legacy"` (seed implementation),
+    /// `"bitset"` (word-packed `step_bitset()`), or `"batched"`
+    /// ([`BatchedEngine`] lockstep; rounds and rates count trial-rounds).
     pub engine: String,
-    /// Rounds executed during measurement.
+    /// Rounds executed during measurement (trial-rounds for `"batched"`).
     pub rounds: u64,
     /// Wall time for those rounds, seconds.
     pub wall_s: f64,
@@ -175,7 +208,7 @@ pub struct WorkloadReport {
     pub name: String,
     /// Network size.
     pub n: usize,
-    /// Measurements (scratch, then legacy, then bitset).
+    /// Measurements (scratch, then legacy, then bitset, then batched).
     pub engines: Vec<EngineMeasurement>,
     /// `rounds_per_sec(scratch) / rounds_per_sec(legacy)`.
     pub speedup: f64,
@@ -183,6 +216,11 @@ pub struct WorkloadReport {
     /// schema-v1 documents (they predate the bitset tier and parse
     /// unchanged).
     pub bitset_speedup: Option<f64>,
+    /// `trial_rounds_per_sec(batched) / rounds_per_sec(bitset)` at `B =`
+    /// [`BATCHED_TRIALS`] — the per-trial amortization of the batched
+    /// multi-trial tier. `None` in schema-v1/v2 documents (they predate
+    /// the batched tier and parse unchanged).
+    pub batched_speedup: Option<f64>,
 }
 
 /// The whole `BENCH_engine.json` document.
@@ -204,19 +242,22 @@ pub struct AllocDelta {
 }
 
 /// Measures every engine tier on one workload, **interleaved**: after a
-/// warmup on each, scratch, legacy, and bitset execute alternating batches
-/// of rounds, so machine-load drift during the measurement hits every tier
-/// equally and cancels out of the speedup ratios. `alloc_probe` (when
-/// provided) samples a monotone `(allocs, bytes)` counter around each
-/// batch; the summed deltas give exact steady-state allocations. The
-/// bitset engine is spawned with [`StepMode::Bitset`] pinned, so its row
-/// construction happens at spawn, outside the probes.
+/// warmup on each, scratch, legacy, bitset, and batched execute
+/// alternating batches of rounds, so machine-load drift during the
+/// measurement hits every tier equally and cancels out of the speedup
+/// ratios. `alloc_probe` (when provided) samples a monotone
+/// `(allocs, bytes)` counter around each batch; the summed deltas give
+/// exact steady-state allocations. The bitset and batched engines are
+/// spawned with their rows pre-built, outside the probes. The batched
+/// unit steps [`BATCHED_TRIALS`] trials per round and accounts in
+/// trial-rounds, so its per-round alloc statistics are per *trial-round*
+/// too (zero stays zero either way).
 pub fn measure_workload(
     name: &str,
     rounds: u64,
     alloc_probe: Option<&dyn Fn() -> (u64, u64)>,
 ) -> WorkloadReport {
-    const LABELS: [&str; 3] = ["scratch", "legacy", "bitset"];
+    const LABELS: [&str; 4] = ["scratch", "legacy", "bitset", "batched"];
     let warmup = (rounds / 10).max(16);
     let batches = 16u64;
     let batch = (rounds / batches).max(1);
@@ -225,6 +266,7 @@ pub fn measure_workload(
         workload_engine(name),
         workload_engine_mode(name, StepMode::Bitset),
     ];
+    let mut batched_rt = workload_batched_engine(name);
     let step_one = |engine: &mut Engine<Chatter>, which: usize| match which {
         0 => engine.step(),
         1 => engine.step_legacy(),
@@ -234,10 +276,11 @@ pub fn measure_workload(
         for (which, engine) in engines_rt.iter_mut().enumerate() {
             step_one(engine, which);
         }
+        batched_rt.step();
     }
-    let mut wall = [0.0f64; 3];
-    let mut executed = [0u64; 3];
-    let mut alloc = [AllocDelta::default(); 3];
+    let mut wall = [0.0f64; 4];
+    let mut executed = [0u64; 4];
+    let mut alloc = [AllocDelta::default(); 4];
     for _ in 0..batches {
         for (which, engine) in engines_rt.iter_mut().enumerate() {
             let before = alloc_probe.map(|p| p());
@@ -253,10 +296,23 @@ pub fn measure_workload(
                 alloc[which].bytes += b1 - b0;
             }
         }
+        let before = alloc_probe.map(|p| p());
+        let start = Instant::now();
+        for _ in 0..batch {
+            batched_rt.step();
+        }
+        wall[3] += start.elapsed().as_secs_f64();
+        executed[3] += batch * BATCHED_TRIALS as u64;
+        if let (Some(probe), Some((a0, b0))) = (alloc_probe, before) {
+            let (a1, b1) = probe();
+            alloc[3].allocs += a1 - a0;
+            alloc[3].bytes += b1 - b0;
+        }
     }
     // Defeat dead-code elimination of the whole run.
     let heard: u64 = engines_rt
         .iter()
+        .chain(batched_rt.engines())
         .flat_map(|e| e.procs())
         .map(Chatter::heard)
         .sum();
@@ -277,12 +333,14 @@ pub fn measure_workload(
         .collect();
     let speedup = engines[0].rounds_per_sec / engines[1].rounds_per_sec.max(1e-12);
     let bitset_speedup = engines[2].rounds_per_sec / engines[0].rounds_per_sec.max(1e-12);
+    let batched_speedup = engines[3].rounds_per_sec / engines[2].rounds_per_sec.max(1e-12);
     WorkloadReport {
         name: name.to_string(),
         n: engines_rt[0].net().n(),
         engines,
         speedup,
         bitset_speedup: Some(bitset_speedup),
+        batched_speedup: Some(batched_speedup),
     }
 }
 
@@ -296,7 +354,7 @@ pub fn run_engine_bench(
         .map(|&name| measure_workload(name, rounds, alloc_probe))
         .collect();
     EngineBenchReport {
-        schema: "bench-engine/v2".to_string(),
+        schema: "bench-engine/v3".to_string(),
         workloads,
     }
 }
@@ -319,16 +377,25 @@ mod tests {
     fn report_serializes() {
         let report = run_engine_bench(16, None);
         assert_eq!(report.workloads.len(), WORKLOADS.len());
-        assert_eq!(report.schema, "bench-engine/v2");
+        assert_eq!(report.schema, "bench-engine/v3");
         let json = serde_json::to_string_pretty(&report).expect("serializable");
         let back: EngineBenchReport = serde_json::from_str(&json).expect("roundtrip");
         assert_eq!(back.workloads.len(), report.workloads.len());
         assert!(back.workloads.iter().all(|w| w.speedup > 0.0));
-        // v2: every workload measures all three tiers and the new ratio.
+        // v3: every workload measures all four tiers and both ratios.
         for w in &back.workloads {
-            assert_eq!(w.engines.len(), 3, "{}", w.name);
+            assert_eq!(w.engines.len(), 4, "{}", w.name);
             assert_eq!(w.engines[2].engine, "bitset");
-            assert!(w.bitset_speedup.expect("v2 carries the ratio") > 0.0);
+            assert_eq!(w.engines[3].engine, "batched");
+            // Batched accounts in trial-rounds: B trials advance per step.
+            assert_eq!(
+                w.engines[3].rounds,
+                w.engines[2].rounds * BATCHED_TRIALS as u64,
+                "{}",
+                w.name
+            );
+            assert!(w.bitset_speedup.expect("v3 carries the ratio") > 0.0);
+            assert!(w.batched_speedup.expect("v3 carries the ratio") > 0.0);
         }
     }
 
@@ -339,5 +406,34 @@ mod tests {
         let v1 = r#"{"name":"clique-64","n":64,"engines":[],"speedup":3.0}"#;
         let w: WorkloadReport = serde_json::from_str(v1).expect("v1 row parses");
         assert_eq!(w.bitset_speedup, None);
+        assert_eq!(w.batched_speedup, None);
+    }
+
+    #[test]
+    fn v2_workloads_parse_without_the_batched_column() {
+        // Pre-batched baselines (schema v2) must keep parsing so the gate
+        // can diff a v3 run against them (batched ratio simply ungated).
+        let v2 = r#"{"name":"clique-64","n":64,"engines":[],"speedup":3.0,"bitset_speedup":5.5}"#;
+        let w: WorkloadReport = serde_json::from_str(v2).expect("v2 row parses");
+        assert_eq!(w.bitset_speedup, Some(5.5));
+        assert_eq!(w.batched_speedup, None);
+    }
+
+    #[test]
+    fn batched_workload_unit_is_bit_identical_to_solo_trials() {
+        // The bench's batched unit must measure the same work the solo
+        // bitset unit does: trial t of the batch equals a solo engine on
+        // seed 7 + t.
+        let mut batched = workload_batched_engine("rgg-256");
+        batched.run_rounds_each(24);
+        for t in 0..BATCHED_TRIALS {
+            let mut solo = workload_engine_seeded("rgg-256", StepMode::Bitset, 7 + t as u64);
+            solo.run_rounds(24);
+            assert_eq!(
+                batched.engines()[t].metrics(),
+                solo.metrics(),
+                "trial {t} diverged from its solo run"
+            );
+        }
     }
 }

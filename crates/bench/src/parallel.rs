@@ -214,7 +214,80 @@ where
     Ok(())
 }
 
-/// One batched window: group, build contexts, fan out.
+/// [`run_trials_batched`] with a *fused* fast path inside each shared
+/// batch: for every run of ≥ 2 consecutive equal-keyed trials, `fuse(ctx,
+/// start..end)` is offered the whole span first. Returning
+/// `Some(results)` (exactly one result per index, in index order) replaces
+/// the per-trial calls for that span — this is how scenario sweeps hand a
+/// run of same-topology trials to the batched multi-trial engine, which
+/// steps them in lockstep over shared bitmask rows. Returning `None`
+/// declines, and every trial in the span runs through `f` as before.
+///
+/// The contract extends the batching one: for any span, `fuse` must
+/// produce exactly what the per-trial `f` calls would — fusion is an
+/// execution strategy, never a semantic change. Singleton and keyless
+/// trials never consult `fuse`.
+pub fn run_trials_batched_fused<K, C, R, KF, BF, FF, F>(
+    trials: u64,
+    key_of: KF,
+    build: BF,
+    fuse: FF,
+    f: F,
+) -> Vec<R>
+where
+    K: PartialEq,
+    C: Send + Sync,
+    R: Send,
+    KF: Fn(u64) -> Option<K>,
+    BF: Fn(u64) -> C + Sync,
+    FF: Fn(&C, std::ops::Range<u64>) -> Option<Vec<R>> + Sync,
+    F: Fn(Option<&C>, u64) -> R + Sync,
+{
+    fused_window(0..trials, &key_of, &build, &fuse, &f)
+}
+
+/// [`run_trials_batched_chunked_range`] with [`run_trials_batched_fused`]'s
+/// fused fast path inside each window. Fusion spans are windowed exactly
+/// like batches (a run crossing a window boundary fuses per window), so
+/// the record stream stays bit-identical at any chunk size and
+/// resumable/sharded sweeps compose exactly as before.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero or the range is inverted.
+#[allow(clippy::too_many_arguments)] // the chunked/batched/fused knob union
+pub fn run_trials_batched_fused_chunked_range<K, C, R, E, KF, BF, FF, F, S>(
+    range: std::ops::Range<u64>,
+    chunk: u64,
+    key_of: KF,
+    build: BF,
+    fuse: FF,
+    f: F,
+    mut consume: S,
+) -> Result<(), E>
+where
+    K: PartialEq,
+    C: Send + Sync,
+    R: Send,
+    KF: Fn(u64) -> Option<K>,
+    BF: Fn(u64) -> C + Sync,
+    FF: Fn(&C, std::ops::Range<u64>) -> Option<Vec<R>> + Sync,
+    F: Fn(Option<&C>, u64) -> R + Sync,
+    S: FnMut(u64, Vec<R>) -> Result<(), E>,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    assert!(range.start <= range.end, "inverted index range");
+    let mut start = range.start;
+    while start < range.end {
+        let end = range.end.min(start.saturating_add(chunk));
+        let results = fused_window(start..end, &key_of, &build, &fuse, &f);
+        consume(start, results)?;
+        start = end;
+    }
+    Ok(())
+}
+
+/// One batched window: group, build contexts, fan out (no fusion).
 fn batched_window<K, C, R, KF, BF, F>(
     window: std::ops::Range<u64>,
     key_of: &KF,
@@ -229,11 +302,32 @@ where
     BF: Fn(u64) -> C + Sync,
     F: Fn(Option<&C>, u64) -> R + Sync,
 {
+    fused_window(window, key_of, build, &|_: &C, _| None, f)
+}
+
+/// One batched window with the fused fast path: group, build contexts,
+/// offer each multi-trial shared run to `fuse`, fan the rest out.
+fn fused_window<K, C, R, KF, BF, FF, F>(
+    window: std::ops::Range<u64>,
+    key_of: &KF,
+    build: &BF,
+    fuse: &FF,
+    f: &F,
+) -> Vec<R>
+where
+    K: PartialEq,
+    C: Send + Sync,
+    R: Send,
+    KF: Fn(u64) -> Option<K>,
+    BF: Fn(u64) -> C + Sync,
+    FF: Fn(&C, std::ops::Range<u64>) -> Option<Vec<R>> + Sync,
+    F: Fn(Option<&C>, u64) -> R + Sync,
+{
     // Pass 1 (serial): split the window into maximal runs of equal Some
     // keys. `None`-keyed trials are their own context-less run.
     let mut runs: Vec<(u64, u64, bool)> = Vec::new(); // (start, end, shared)
     let mut prev: Option<K> = None;
-    for i in window.clone() {
+    for i in window {
         let key = key_of(i);
         let extends = key.is_some() && key == prev;
         match runs.last_mut() {
@@ -248,15 +342,34 @@ where
         .par_iter()
         .map(|&(start, _, shared)| shared.then(|| build(start)))
         .collect();
-    // Pass 3 (parallel across the whole window): every trial locates its
-    // run by binary search and borrows the shared context.
-    window
+    // Pass 3 (parallel across runs, then across each unfused run's
+    // trials — rayon's work stealing keeps one giant run on every core):
+    // multi-trial shared runs are offered to `fuse` whole; everything else
+    // fans out per trial over the shared context.
+    let spans: Vec<Vec<R>> = (0..runs.len())
         .into_par_iter()
-        .map(|i| {
-            let run = runs.partition_point(|&(start, _, _)| start <= i) - 1;
-            f(contexts[run].as_ref(), i)
+        .map(|r| {
+            let (start, end, _) = runs[r];
+            let ctx = &contexts[r];
+            if end - start >= 2 {
+                if let Some(ctx) = ctx.as_ref() {
+                    if let Some(results) = fuse(ctx, start..end) {
+                        assert_eq!(
+                            results.len(),
+                            (end - start) as usize,
+                            "fused span must return one result per trial"
+                        );
+                        return results;
+                    }
+                }
+            }
+            (start..end)
+                .into_par_iter()
+                .map(|i| f(ctx.as_ref(), i))
+                .collect()
         })
-        .collect()
+        .collect();
+    spans.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -393,6 +506,86 @@ mod tests {
             },
         );
         assert_eq!(builds.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn fused_matches_unfused_and_skips_singletons() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // Runs of 5, with trial 20 a keyless singleton in the middle.
+        let key_of = |t: u64| (t != 20).then_some(t / 5);
+        let build = |t: u64| t / 5;
+        let f = |ctx: Option<&u64>, t: u64| (ctx.copied(), t);
+        let expect = run_trials_batched(31, key_of, build, f);
+        // A fuse that accepts every offered span.
+        let fused_spans = AtomicU64::new(0);
+        let got = run_trials_batched_fused(
+            31,
+            key_of,
+            build,
+            |ctx, span| {
+                fused_spans.fetch_add(1, Ordering::Relaxed);
+                assert!(span.end - span.start >= 2, "singletons never fuse");
+                Some(span.map(|t| (Some(*ctx), t)).collect())
+            },
+            f,
+        );
+        assert_eq!(got, expect);
+        // Runs: [0,5) [5,10) [10,15) [15,20) {20} [21,25) [25,30) [30,31).
+        // The keyless singleton and the final 1-trial run are never offered.
+        assert_eq!(fused_spans.load(Ordering::Relaxed), 6);
+        // A fuse that always declines is exactly the unfused sweep.
+        let got = run_trials_batched_fused(31, key_of, build, |_, _| None, f);
+        assert_eq!(got, expect);
+        // A fuse that accepts only even-keyed spans mixes both paths.
+        let got = run_trials_batched_fused(
+            31,
+            key_of,
+            build,
+            |ctx, span| ctx.is_multiple_of(2).then(|| span.map(|t| (Some(*ctx), t)).collect()),
+            f,
+        );
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "one result per trial")]
+    fn fused_span_must_cover_its_trials() {
+        let _ = run_trials_batched_fused(
+            8,
+            |t| Some(t / 4),
+            |t| t,
+            |_, _| Some(vec![0u64]), // wrong length
+            |_, t| t,
+        );
+    }
+
+    #[test]
+    fn fused_chunked_matches_unchunked_every_chunk_size() {
+        let key_of = |t: u64| (t / 7 != 1).then_some(t / 7); // run, gap, run
+        let build = |t: u64| t / 7;
+        let f = |ctx: Option<&u64>, t: u64| (ctx.copied(), t);
+        let fuse = |ctx: &u64, span: std::ops::Range<u64>| {
+            ctx.is_multiple_of(2).then(|| span.map(|t| (Some(*ctx), t)).collect())
+        };
+        let expect = run_trials_batched(23, key_of, build, f);
+        for chunk in [1u64, 2, 3, 5, 7, 8, 22, 23, 1000] {
+            let mut got = Vec::new();
+            run_trials_batched_fused_chunked_range(
+                0..23,
+                chunk,
+                key_of,
+                build,
+                fuse,
+                f,
+                |start, results| {
+                    assert_eq!(start, got.len() as u64);
+                    got.extend(results);
+                    Ok::<(), std::convert::Infallible>(())
+                },
+            )
+            .unwrap();
+            assert_eq!(got, expect, "chunk = {chunk}");
+        }
     }
 
     #[test]

@@ -43,7 +43,7 @@
 //!   never drops or duplicates a grid cell).
 
 use crate::aggregate::AggregateSpec;
-use crate::parallel::run_trials_batched;
+use crate::parallel::run_trials_batched_fused;
 use crate::stats::{dropped_points_note, loglog_exponent_counting};
 use crate::table::{f1, f3, Table};
 use hitting_games::{
@@ -54,7 +54,7 @@ use radio_baselines::{DecayBroadcast, NaiveCcdsConfig, RoundRobinBroadcast};
 use radio_sim::spec::{AdversaryKind, TopologyKind};
 use radio_sim::{EngineBuilder, IdAssignment, StopReason};
 use radio_structures::params::{ceil_log2, MisParams};
-use radio_structures::runner::{run_algo, AlgoKind, RunRecord};
+use radio_structures::runner::{run_algo, run_algo_batch, AlgoKind, RunRecord};
 use radio_structures::{CcdsConfig, TauConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -411,15 +411,24 @@ impl ScenarioRun {
 /// Units that freeze the same network — consecutive trials of a
 /// deterministic topology under a net-building workload — share one built
 /// instance (adjacency *and* bitmask rows) through
-/// [`crate::parallel::run_trials_batched`]; see [`run_unit_with`] for why
-/// the records are bit-identical to the build-per-trial sweep.
+/// [`crate::parallel::run_trials_batched_fused`]; see [`run_unit_with`]
+/// for why the records are bit-identical to the build-per-trial sweep.
+/// Within a shared span, runs of ≥ 2 Core trials of one grid cell are
+/// additionally *fused* into a single [`run_algo_batch`] call, so dense
+/// networks step all of a cell's trials in lockstep over the shared
+/// bitmask rows ([`fuse_shared_units`]) — still record-identical.
 pub fn run_spec(spec: &ScenarioSpec) -> ScenarioRun {
     let units = spec.plan();
     let start = Instant::now();
-    let records = run_trials_batched(
+    let records = run_trials_batched_fused(
         units.len() as u64,
         |i| shared_net_key(spec, i),
         |i| build_shared_net(spec, i),
+        |shared, span| {
+            let start = usize::try_from(span.start).expect("unit index fits");
+            let end = usize::try_from(span.end).expect("unit index fits");
+            fuse_shared_units(spec, shared, &units[start..end])
+        },
         |shared, i| {
             run_unit_with(
                 spec,
@@ -542,11 +551,16 @@ pub fn run_spec_streaming_range_with(
     let units = range.end.saturating_sub(range.start);
     let start = Instant::now();
     let mut records = 0u64;
-    crate::parallel::run_trials_batched_chunked_range(
+    crate::parallel::run_trials_batched_fused_chunked_range(
         range,
         chunk,
         |i| shared_net_key(spec, i),
         |i| build_shared_net(spec, i),
+        |shared, span| {
+            let units: Vec<TrialUnit> = span.map(|i| spec.unit_at(i)).collect();
+            fuse_shared_units(spec, shared, &units)
+                .map(|recs| units.into_iter().zip(recs).collect())
+        },
         |shared, i| {
             let unit = spec.unit_at(i);
             let recs = run_unit_with(spec, &unit, shared);
@@ -603,6 +617,68 @@ fn build_shared_net(spec: &ScenarioSpec, i: u64) -> Result<radio_sim::DualGraph,
         .kind
         .build_with(&mut rng)
         .map_err(|e| e.to_string())
+}
+
+/// Executes a span of consecutive shared-network units as a unit-for-unit
+/// replacement for per-unit [`run_unit_with`] calls, fusing each grid
+/// cell's run of ≥ 2 Core trials into one [`run_algo_batch`] call — which
+/// hands the trials' engines to the batched multi-trial tier on dense
+/// networks. Returns `None` (declining to fuse, so the caller falls back
+/// per unit) when the shared build failed; everything else executes here,
+/// with non-Core workloads and singleton cells routed through
+/// [`run_unit_with`] unchanged.
+///
+/// Record-stream equivalence rests on two invariants: [`run_algo_batch`]
+/// is bit-identical to per-trial [`run_algo`] whatever the batch size, and
+/// the fused detector stream — a fresh `det_seed`/`net_seed` stream per
+/// trial — is exactly what the per-unit Core arm derives, because the
+/// deterministic builds [`shared_net_key`] gates on draw nothing from the
+/// topology stream.
+fn fuse_shared_units(
+    spec: &ScenarioSpec,
+    shared: &Result<radio_sim::DualGraph, String>,
+    units: &[TrialUnit],
+) -> Option<Vec<Vec<RunRecord>>> {
+    let net = match shared {
+        Ok(net) => net,
+        // Failure records carry no engine work worth fusing; the per-unit
+        // path reports the identical error string for every trial.
+        Err(_) => return None,
+    };
+    let max_rounds = spec.max_rounds();
+    let mut out: Vec<Vec<RunRecord>> = Vec::with_capacity(units.len());
+    let mut idx = 0;
+    while idx < units.len() {
+        // One grid cell: consecutive units with the same workload and
+        // adversary coordinates (trial is the innermost grid digit, so a
+        // cell's trials are consecutive within the span).
+        let mut end = idx + 1;
+        while end < units.len()
+            && units[end].work == units[idx].work
+            && units[end].adv == units[idx].adv
+        {
+            end += 1;
+        }
+        let cell = &units[idx..end];
+        let adversary = spec.adversaries[cell[0].adv];
+        match &spec.workloads[cell[0].work].kind {
+            Workload::Core { algo } if cell.len() >= 2 => {
+                let seeds: Vec<u64> = cell.iter().map(|u| u.run_seed).collect();
+                let mut det_rngs: Vec<StdRng> = cell
+                    .iter()
+                    .map(|u| StdRng::seed_from_u64(u.det_seed.unwrap_or(u.net_seed)))
+                    .collect();
+                let recs = run_algo_batch(net, algo, adversary, &seeds, &mut det_rngs, max_rounds);
+                out.extend(recs.into_iter().map(|rec| vec![rec]));
+            }
+            _ => out.extend(
+                cell.iter()
+                    .map(|unit| run_unit_with(spec, unit, Some(shared))),
+            ),
+        }
+        idx = end;
+    }
+    Some(out)
 }
 
 /// Executes one trial unit, building its network privately.
@@ -1444,6 +1520,36 @@ mod tests {
         assert!(shared_net_key(&spec, 0).is_some());
         let geo = run.units.iter().position(|u| u.topo == 1).unwrap() as u64;
         assert!(shared_net_key(&spec, geo).is_none());
+    }
+
+    #[test]
+    fn fused_core_cells_match_private_builds() {
+        // A dense deterministic clique whose Core cells genuinely engage
+        // the batched engine tier, with a τ-CCDS workload whose detector
+        // stream continues the topology stream (det_seed = None) — the
+        // subtle part of the fused det_rng derivation — plus a pinned
+        // det_seed variant. Fused records must equal the build-per-trial
+        // reference exactly.
+        let mut spec = tiny_spec();
+        spec.topologies = vec![TopologyEntry::new(TopologyKind::Clique { n: 24 })];
+        spec.trials = 4;
+        spec.stop = StopCondition::Rounds { max: 400 };
+        let mut pinned = WorkloadEntry::core(AlgoKind::TauCcds {
+            tau: 1,
+            spurious: radio_sim::SpuriousSource::UnreliableNeighbors,
+        });
+        pinned.det_seed = Some(99);
+        spec.workloads = vec![
+            WorkloadEntry::core(AlgoKind::Mis),
+            WorkloadEntry::core(AlgoKind::TauCcds {
+                tau: 1,
+                spurious: radio_sim::SpuriousSource::UnreliableNeighbors,
+            }),
+            pinned,
+        ];
+        let run = run_spec(&spec);
+        let private: Vec<Vec<RunRecord>> = spec.plan().iter().map(|u| run_unit(&spec, u)).collect();
+        assert_eq!(run.records, private);
     }
 
     #[test]

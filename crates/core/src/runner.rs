@@ -15,7 +15,7 @@ use crate::mis::Mis;
 use crate::params::MisParams;
 use crate::tau::{TauCcds, TauConfig};
 use radio_sim::{
-    DualGraph, DynamicDetector, EngineBuilder, ExecutionMetrics, IdAssignment,
+    BatchedEngine, DualGraph, DynamicDetector, EngineBuilder, ExecutionMetrics, IdAssignment,
     LinkDetectorAssignment, NodeId, ProcessId, SpuriousSource, StopReason,
 };
 use rand::rngs::StdRng;
@@ -434,61 +434,27 @@ pub fn run_algo(
     let cap = |budget: u64| max_rounds.map_or(budget, |m| budget.min(m));
     let n = net.n();
     let delta = net.max_degree_g();
-    let mut rec = RunRecord::new(algo, n, delta);
     match *algo {
-        AlgoKind::Mis => {
-            let params = MisParams::default();
-            let run = run_mis_budget(net, params, adversary, seed, cap(params.total_rounds(n)));
-            rec.valid = run.report.is_valid();
-            rec.solve_round = run.solve_round;
-            rec.rounds_executed = run.rounds_executed;
-            rec.metrics = Some(run.metrics);
-            rec.outputs = run.outputs;
-            // The parameter budget, for aggregated tables (E1's "budget"
-            // column reads it as an extra).
-            rec.push_extra("budget", params.total_rounds(n) as f64);
+        AlgoKind::Mis | AlgoKind::Ccds { .. } | AlgoKind::TauCcds { .. } | AlgoKind::AsyncMis => {
+            // One record through the batch runner with a batch of one: the
+            // batch path falls back to a plain solo `Engine::run` for a
+            // single trial, so the execution is exactly the per-algorithm
+            // runner's, with one copy of the record-filling logic.
+            run_algo_batch(
+                net,
+                algo,
+                adversary,
+                std::slice::from_ref(&seed),
+                std::slice::from_mut(det_rng),
+                max_rounds,
+            )
+            .pop()
+            .expect("one seed in, one record out")
         }
-        AlgoKind::Ccds { b } => {
-            let cfg = CcdsConfig::new(n, delta, b);
-            match run_ccds_budget(net, &cfg, adversary, seed, max_rounds) {
-                Ok(run) => {
-                    rec.valid =
-                        run.report.terminated && run.report.connected && run.report.dominating;
-                    rec.solve_round = run.solve_round;
-                    rec.rounds_executed = run.rounds_executed;
-                    rec.schedule_total = Some(run.schedule_total);
-                    rec.metrics = Some(run.metrics);
-                    rec.max_explorations = Some(run.max_explorations);
-                    rec.mis_size = Some(run.mis_size);
-                    rec.push_extra(
-                        "max_gprime_neighbors",
-                        run.report.max_gprime_neighbors_in_set as f64,
-                    );
-                    rec.outputs = run.outputs;
-                }
-                Err(e) => rec.error = Some(e.to_string()),
-            }
-        }
-        AlgoKind::TauCcds { tau, spurious } => {
-            let ids = IdAssignment::identity(n);
-            let det = LinkDetectorAssignment::tau_complete(net, &ids, tau, spurious, det_rng);
-            let cfg = TauConfig::new(n, delta + tau, tau);
-            let run = run_tau_ccds_budget(net, &det, &cfg, adversary, seed, max_rounds);
-            rec.valid = run.report.terminated && run.report.connected && run.report.dominating;
-            rec.solve_round = run.solve_round;
-            rec.rounds_executed = run.rounds_executed;
-            rec.schedule_total = Some(run.schedule_total);
-            rec.metrics = Some(run.metrics);
-            rec.winners = Some(run.winners);
-            rec.push_extra(
-                "max_gprime_neighbors",
-                run.report.max_gprime_neighbors_in_set as f64,
-            );
-            rec.outputs = run.outputs;
-        }
-        AlgoKind::AsyncMis => run_async_mis(net, adversary, seed, max_rounds, &mut rec),
         AlgoKind::ContinuousDynamic { b } => {
+            let mut rec = RunRecord::new(algo, n, delta);
             run_continuous_dynamic(net, adversary, seed, b, max_rounds, &mut rec);
+            rec
         }
         AlgoKind::Backbone {
             b,
@@ -506,64 +472,254 @@ pub fn run_algo(
                 cap(flood_budget),
                 max_rounds,
             );
-            rec = recs.pop().expect("one mode requested");
+            recs.pop().expect("one mode requested")
         }
     }
-    rec
 }
 
-/// The Section 9 asynchronous-start MIS under the E7 staggered wake
-/// pattern; fills `rec` with the per-process latency maximum and the MIS
-/// verification over `G`.
-fn run_async_mis(
+/// Runs `algo` once per entry of `seeds` on the **same** network, batching
+/// the engine phase across trials when the algorithm and network allow it.
+///
+/// For the fixed-schedule engine algorithms (MIS, CCDS, τ-CCDS, async MIS)
+/// every trial shares the frozen topology, so their engines are handed to
+/// [`BatchedEngine::run_all`]: with ≥ 2 trials on a dense (bitset-tier)
+/// network the trials advance in lockstep over the shared bitmask rows,
+/// fetching each broadcaster's row once per round for the whole batch;
+/// otherwise each engine runs solo. Either way every trial's record is
+/// bit-identical to a [`run_algo`] call with the same seed — per-trial RNG
+/// streams are untouched by batching.
+///
+/// `det_rngs` supplies one detector stream per trial (same contract as
+/// [`run_algo`]'s `det_rng`); streams are consumed in trial order.
+/// Algorithms outside the single-engine shape (continuous-dynamic,
+/// backbone) fall back to per-trial [`run_algo`] calls.
+///
+/// # Panics
+///
+/// Panics if `seeds` and `det_rngs` have different lengths.
+pub fn run_algo_batch(
     net: &DualGraph,
+    algo: &AlgoKind,
     adversary: AdversaryKind,
-    seed: u64,
+    seeds: &[u64],
+    det_rngs: &mut [StdRng],
     max_rounds: Option<u64>,
-    rec: &mut RunRecord,
-) {
+) -> Vec<RunRecord> {
+    assert_eq!(seeds.len(), det_rngs.len(), "one detector stream per trial");
+    let cap = |budget: u64| max_rounds.map_or(budget, |m| budget.min(m));
     let n = net.n();
-    let filter = if net.is_classic() {
-        AsyncFilter::AcceptAll
-    } else {
-        AsyncFilter::Detector
-    };
-    let params = AsyncMisParams::default();
-    let epoch = params.epoch_len(n);
-    let wakes: Vec<u64> = (0..n).map(|i| 1 + (i as u64 % 8) * (epoch / 2)).collect();
-    let budget = 8 * epoch / 2 + 60 * epoch;
-    let budget = max_rounds.map_or(budget, |m| budget.min(m));
-    let mut engine = EngineBuilder::new(net.clone())
-        .seed(seed)
-        .wake_rounds(wakes)
-        .adversary(adversary.build(seed ^ 0x5eed))
-        .spawn(|info| AsyncMis::new(info.n, info.id, params, filter))
-        .expect("engine assembly from a validated network cannot fail");
-    let out = engine.run(budget);
-    let outputs = engine.outputs();
-    let max_latency = (0..n)
-        .filter_map(|v| engine.decided_latency(NodeId(v)))
-        .max()
-        .unwrap_or(0);
-    let g = engine.net().g();
-    let mut valid = out.stop == StopReason::AllDone;
-    for (u, v) in g.edges() {
-        if outputs[u] == Some(true) && outputs[v] == Some(true) {
-            valid = false;
+    let delta = net.max_degree_g();
+    match *algo {
+        AlgoKind::Mis => {
+            let params = MisParams::default();
+            let budget = cap(params.total_rounds(n));
+            let ids = IdAssignment::identity(n);
+            let det = LinkDetectorAssignment::zero_complete(net, &ids);
+            let h = det.h_graph(&ids);
+            let engines = seeds
+                .iter()
+                .map(|&seed| {
+                    EngineBuilder::new(net.clone())
+                        .seed(seed)
+                        .ids(ids.clone())
+                        .detector(det.clone())
+                        .adversary(adversary.build(seed ^ 0x5eed))
+                        .spawn(|info| Mis::new(info.n, info.id, params))
+                        .expect("engine assembly from a validated network cannot fail")
+                })
+                .collect();
+            let (engines, _) = BatchedEngine::run_all(engines, budget);
+            engines
+                .iter()
+                .map(|engine| {
+                    let mut rec = RunRecord::new(algo, n, delta);
+                    let outputs = engine.outputs();
+                    rec.valid = check_mis(net, &h, &outputs).is_valid();
+                    rec.solve_round = engine.all_decided_round();
+                    rec.rounds_executed = engine.round();
+                    rec.metrics = Some(*engine.metrics());
+                    rec.outputs = outputs;
+                    // The parameter budget, for aggregated tables (E1's
+                    // "budget" column reads it as an extra).
+                    rec.push_extra("budget", params.total_rounds(n) as f64);
+                    rec
+                })
+                .collect()
         }
-    }
-    for v in 0..n {
-        if outputs[v] == Some(false) && !g.neighbors(v).iter().any(|&u| outputs[u] == Some(true)) {
-            valid = false;
+        AlgoKind::Ccds { b } => {
+            let cfg = CcdsConfig::new(n, delta, b);
+            let schedule = match cfg.schedule() {
+                Ok(s) => s,
+                Err(e) => {
+                    return seeds
+                        .iter()
+                        .map(|_| {
+                            let mut rec = RunRecord::new(algo, n, delta);
+                            rec.error = Some(e.to_string());
+                            rec
+                        })
+                        .collect();
+                }
+            };
+            let budget = max_rounds.map_or(schedule.total + 1, |m| (schedule.total + 1).min(m));
+            let ids = IdAssignment::identity(n);
+            let det = LinkDetectorAssignment::zero_complete(net, &ids);
+            let h = det.h_graph(&ids);
+            let engines = seeds
+                .iter()
+                .map(|&seed| {
+                    EngineBuilder::new(net.clone())
+                        .seed(seed)
+                        .ids(ids.clone())
+                        .detector(det.clone())
+                        .adversary(adversary.build(seed ^ 0x5eed))
+                        .max_message_bits(cfg.b)
+                        .spawn(|info| Ccds::new(&cfg, info.id).expect("config validated above"))
+                        .expect("engine assembly from a validated network cannot fail")
+                })
+                .collect();
+            let (engines, _) = BatchedEngine::run_all(engines, budget);
+            engines
+                .iter()
+                .map(|engine| {
+                    let mut rec = RunRecord::new(algo, n, delta);
+                    let outputs = engine.outputs();
+                    let report = check_ccds(net, &h, &outputs);
+                    rec.valid = report.terminated && report.connected && report.dominating;
+                    rec.solve_round = engine.all_decided_round();
+                    rec.rounds_executed = engine.round();
+                    rec.schedule_total = Some(schedule.total);
+                    rec.metrics = Some(*engine.metrics());
+                    rec.max_explorations = Some(
+                        engine
+                            .procs()
+                            .iter()
+                            .filter(|p| p.mis().in_mis())
+                            .map(|p| p.counters().explorations)
+                            .max()
+                            .unwrap_or(0),
+                    );
+                    rec.mis_size = Some(engine.procs().iter().filter(|p| p.mis().in_mis()).count());
+                    rec.push_extra(
+                        "max_gprime_neighbors",
+                        report.max_gprime_neighbors_in_set as f64,
+                    );
+                    rec.outputs = outputs;
+                    rec
+                })
+                .collect()
         }
+        AlgoKind::TauCcds { tau, spurious } => {
+            let ids = IdAssignment::identity(n);
+            let cfg = TauConfig::new(n, delta + tau, tau);
+            let schedule = cfg.schedule();
+            let budget = max_rounds.map_or(schedule.total + 1, |m| (schedule.total + 1).min(m));
+            // Detector draws consume each trial's stream in trial order —
+            // the same draws a sequence of solo runs would make.
+            let dets: Vec<LinkDetectorAssignment> = det_rngs
+                .iter_mut()
+                .map(|rng| LinkDetectorAssignment::tau_complete(net, &ids, tau, spurious, rng))
+                .collect();
+            let engines = seeds
+                .iter()
+                .zip(&dets)
+                .map(|(&seed, det)| {
+                    EngineBuilder::new(net.clone())
+                        .seed(seed)
+                        .ids(ids.clone())
+                        .detector(det.clone())
+                        .adversary(adversary.build(seed ^ 0x5eed))
+                        .spawn(|info| TauCcds::new(&cfg, info.id))
+                        .expect("engine assembly from a validated network cannot fail")
+                })
+                .collect();
+            let (engines, _) = BatchedEngine::run_all(engines, budget);
+            engines
+                .iter()
+                .zip(&dets)
+                .map(|(engine, det)| {
+                    let mut rec = RunRecord::new(algo, n, delta);
+                    let outputs = engine.outputs();
+                    let h = det.h_graph(&ids);
+                    let report = check_ccds(net, &h, &outputs);
+                    rec.valid = report.terminated && report.connected && report.dominating;
+                    rec.solve_round = engine.all_decided_round();
+                    rec.rounds_executed = engine.round();
+                    rec.schedule_total = Some(schedule.total);
+                    rec.metrics = Some(*engine.metrics());
+                    rec.winners = Some(engine.procs().iter().filter(|p| p.is_winner()).count());
+                    rec.push_extra(
+                        "max_gprime_neighbors",
+                        report.max_gprime_neighbors_in_set as f64,
+                    );
+                    rec.outputs = outputs;
+                    rec
+                })
+                .collect()
+        }
+        AlgoKind::AsyncMis => {
+            let filter = if net.is_classic() {
+                AsyncFilter::AcceptAll
+            } else {
+                AsyncFilter::Detector
+            };
+            let params = AsyncMisParams::default();
+            let epoch = params.epoch_len(n);
+            let wakes: Vec<u64> = (0..n).map(|i| 1 + (i as u64 % 8) * (epoch / 2)).collect();
+            let budget = cap(8 * epoch / 2 + 60 * epoch);
+            let engines = seeds
+                .iter()
+                .map(|&seed| {
+                    EngineBuilder::new(net.clone())
+                        .seed(seed)
+                        .wake_rounds(wakes.clone())
+                        .adversary(adversary.build(seed ^ 0x5eed))
+                        .spawn(|info| AsyncMis::new(info.n, info.id, params, filter))
+                        .expect("engine assembly from a validated network cannot fail")
+                })
+                .collect();
+            let (engines, outcomes) = BatchedEngine::run_all(engines, budget);
+            engines
+                .iter()
+                .zip(&outcomes)
+                .map(|(engine, out)| {
+                    let mut rec = RunRecord::new(algo, n, delta);
+                    let outputs = engine.outputs();
+                    let max_latency = (0..n)
+                        .filter_map(|v| engine.decided_latency(NodeId(v)))
+                        .max()
+                        .unwrap_or(0);
+                    let g = engine.net().g();
+                    let mut valid = out.stop == StopReason::AllDone;
+                    for (u, v) in g.edges() {
+                        if outputs[u] == Some(true) && outputs[v] == Some(true) {
+                            valid = false;
+                        }
+                    }
+                    for v in 0..n {
+                        if outputs[v] == Some(false)
+                            && !g.neighbors(v).iter().any(|&u| outputs[u] == Some(true))
+                        {
+                            valid = false;
+                        }
+                    }
+                    rec.valid = valid;
+                    rec.solve_round = engine.all_decided_round();
+                    rec.rounds_executed = engine.round();
+                    rec.metrics = Some(*engine.metrics());
+                    rec.push_extra("max_latency", max_latency as f64);
+                    rec.push_extra("classic", f64::from(u8::from(net.is_classic())));
+                    rec.outputs = outputs;
+                    rec
+                })
+                .collect()
+        }
+        AlgoKind::ContinuousDynamic { .. } | AlgoKind::Backbone { .. } => seeds
+            .iter()
+            .zip(det_rngs.iter_mut())
+            .map(|(&seed, det_rng)| run_algo(net, algo, adversary, seed, det_rng, max_rounds))
+            .collect(),
     }
-    rec.valid = valid;
-    rec.solve_round = engine.all_decided_round();
-    rec.rounds_executed = engine.round();
-    rec.metrics = Some(*engine.metrics());
-    rec.push_extra("max_latency", max_latency as f64);
-    rec.push_extra("classic", f64::from(u8::from(net.is_classic())));
-    rec.outputs = outputs;
 }
 
 /// The Section 8 continuous CCDS with a detector that starts sparse and
@@ -780,6 +936,66 @@ mod tests {
             let json = serde_json::to_string(&rec).expect("record serializes");
             let back: RunRecord = serde_json::from_str(&json).expect("record parses");
             assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn run_algo_batch_matches_per_trial_runs() {
+        // Dense clique (engines resolve to the bitset tier, so a 3-trial
+        // batch actually runs batched) and a sparse path (scalar tier, so
+        // the batch falls back to solo runs): both must reproduce the
+        // per-trial `run_algo` records and detector streams exactly.
+        use rand::RngCore;
+        let clique = radio_sim::DualGraph::classic(Graph::complete(32)).unwrap();
+        let path = radio_sim::DualGraph::classic(
+            Graph::from_edges(24, (0..23).map(|i| (i, i + 1))).unwrap(),
+        )
+        .unwrap();
+        let seeds = [7u64, 8, 9];
+        let algos = [
+            AlgoKind::Mis,
+            AlgoKind::Ccds { b: 256 },
+            AlgoKind::TauCcds {
+                tau: 1,
+                spurious: SpuriousSource::UnreliableNeighbors,
+            },
+            AlgoKind::AsyncMis,
+            AlgoKind::ContinuousDynamic { b: 256 },
+        ];
+        for net in [&clique, &path] {
+            for algo in &algos {
+                let mut batch_rngs: Vec<StdRng> = seeds
+                    .iter()
+                    .map(|&s| StdRng::seed_from_u64(s * 31))
+                    .collect();
+                let batch = run_algo_batch(
+                    net,
+                    algo,
+                    AdversaryKind::Random { p: 0.5 },
+                    &seeds,
+                    &mut batch_rngs,
+                    Some(600),
+                );
+                assert_eq!(batch.len(), seeds.len());
+                for (i, &seed) in seeds.iter().enumerate() {
+                    let mut det_rng = StdRng::seed_from_u64(seed * 31);
+                    let solo = run_algo(
+                        net,
+                        algo,
+                        AdversaryKind::Random { p: 0.5 },
+                        seed,
+                        &mut det_rng,
+                        Some(600),
+                    );
+                    assert_eq!(batch[i], solo, "{algo:?} trial {i} (n = {})", net.n());
+                    // The detector stream must have advanced identically.
+                    assert_eq!(
+                        batch_rngs[i].next_u64(),
+                        det_rng.next_u64(),
+                        "{algo:?} trial {i} detector stream"
+                    );
+                }
+            }
         }
     }
 

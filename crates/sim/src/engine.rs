@@ -13,7 +13,7 @@
 //!
 //! # Performance architecture
 //!
-//! Stepping is the hot path of every experiment, and it comes in **three
+//! Stepping is the hot path of every experiment, and it comes in **four
 //! tiers**, each differentially pinned to the one below it by golden-trace
 //! tests (identical traces, transcripts, metrics, and outputs for the same
 //! seed):
@@ -38,18 +38,44 @@
 //!    adversary's activated unreliable edges bit by bit — `O(B·⌈n/64⌉)`
 //!    word operations per round, a ~64× narrower inner loop than the
 //!    scalar scatter on dense graphs.
+//! 4. [`Engine::step_batched`] / [`BatchedEngine`] — the multi-trial
+//!    tier. A [`BatchedEngine`] steps `B` independent trials of the same
+//!    topology one round at a time over **struct-of-arrays** reach state:
+//!    each trial's seen/collide planes are contiguous `⌈n/64⌉`-word
+//!    stripes in one flat buffer, and delivery runs node-major — every
+//!    node broadcasting in at least one trial has its bitmask row fetched
+//!    **once** and carry-saved into every broadcasting trial's plane
+//!    while the row is hot in cache, amortizing row traffic across the
+//!    batch the way an inference stack amortizes weight fetches. The
+//!    decide/receive phases stay strictly per-trial (each trial's private
+//!    RNG streams are drawn in exactly the order `step_bitset` draws
+//!    them), so every trial's trace, transcript, metrics, and outputs are
+//!    bit-identical to its solo run. [`Engine::step_batched`] is the
+//!    tier's batch-of-one face: the same phase helpers over a single
+//!    plane pair.
 //!
 //! **Tier selection.** The run loops ([`Engine::run`] and friends) pick
 //! between the scalar and bitset tiers once at spawn via
 //! [`EngineBuilder::step_mode`]. The default, [`StepMode::Auto`], chooses
 //! bitset when the reliable layer's average degree exceeds three row
 //! widths (`edge_slots ≥ 3·n·⌈n/64⌉` — the break-even point of the
-//! three row passes a bitset round makes against the scalar scatter) and
-//! `n` is small enough that the rows' `n·⌈n/64⌉` words stay cache-friendly
-//! (`n ≤ 16384`); otherwise the scalar tier runs. Dense workloads
-//! (cliques, dense RGGs) land on bitset, sparse ones (paths, bounded
-//! degree) on scalar. `step_legacy` is never auto-selected — it exists as
-//! the differential reference and benchmark baseline.
+//! three row passes a bitset round makes against the scalar scatter,
+//! computed with checked arithmetic so a pathological `n` can never wrap
+//! the product and mis-select a tier) and `n` is small enough that the
+//! rows' `n·⌈n/64⌉` words stay cache-friendly (`n ≤ 16384`); otherwise
+//! the scalar tier runs. Dense workloads (cliques, dense RGGs) land on
+//! bitset, sparse ones (paths, bounded degree) on scalar. `step_legacy`
+//! is never auto-selected — it exists as the differential reference and
+//! benchmark baseline.
+//!
+//! `Auto` never resolves a *single* engine to the batched tier: batching
+//! is a property of a trial set, not of one engine, so the batch-level
+//! selection lives in [`BatchedEngine::run_all`] — handed a run of ≥ 2
+//! same-topology trials whose engines resolved to the bitset tier (dense
+//! nets), it steps them through one [`BatchedEngine`]; anything else
+//! falls back to per-trial solo runs. `run_trials_batched`-style sweep
+//! harnesses route whole cells of trials through it, so registry sweeps
+//! and user specs benefit with zero spec changes.
 //!
 //! The scratch invariants:
 //!
@@ -73,7 +99,7 @@
 use crate::adversary::{Adversary, ReliableOnly};
 use crate::detector::LinkDetectorAssignment;
 use crate::dynamic::DetectorProvider;
-use crate::graph::NeighborStamps;
+use crate::graph::{BitRows, NeighborStamps};
 use crate::ids::{IdAssignment, NodeId, ProcessId};
 use crate::network::DualGraph;
 use crate::process::{Action, Context, MessageSize, Process, ProcessRng};
@@ -134,6 +160,12 @@ pub enum StepMode {
     Scalar,
     /// Always step through the word-packed tier ([`Engine::step_bitset`]).
     Bitset,
+    /// Always step through the batched tier's single-trial path
+    /// ([`Engine::step_batched`]). Multi-trial batching itself lives in
+    /// [`BatchedEngine`]; [`StepMode::Auto`] never resolves a lone engine
+    /// here — the batch-level selection happens in
+    /// [`BatchedEngine::run_all`].
+    Batched,
 }
 
 /// Largest `n` at which [`StepMode::Auto`] may pick the bitset tier: the
@@ -142,13 +174,24 @@ pub enum StepMode {
 /// wants implicit topologies anyway.
 const MAX_AUTO_BITSET_N: usize = 16_384;
 
+/// The bitset tier's break-even edge-slot threshold, `3·n·⌈n/64⌉`, or
+/// `None` when the product would overflow `usize`. An overflowing
+/// threshold is unreachably large — no graph can have that many edge
+/// slots — so callers must treat `None` as "not dense" rather than let a
+/// wrapped product mis-select the tier for a pathological `n`.
+fn bitset_break_even(n: usize) -> Option<usize> {
+    n.div_ceil(64).checked_mul(n)?.checked_mul(3)
+}
+
 /// The density rule behind [`StepMode::Auto`]: a bitset round makes three
 /// row passes of `⌈n/64⌉` words per broadcaster, so it pays off once the
 /// average reliable degree exceeds three row widths.
 fn auto_step_mode(net: &DualGraph) -> StepMode {
     let n = net.n();
-    let words = n.div_ceil(64);
-    if n > 0 && n <= MAX_AUTO_BITSET_N && net.g_csr().edge_slots() >= 3 * n * words {
+    let dense = n > 0
+        && n <= MAX_AUTO_BITSET_N
+        && bitset_break_even(n).is_some_and(|t| net.g_csr().edge_slots() >= t);
+    if dense {
         StepMode::Bitset
     } else {
         StepMode::Scalar
@@ -340,7 +383,7 @@ impl EngineBuilder {
             StepMode::Auto => auto_step_mode(&self.net),
             m => m,
         };
-        if mode == StepMode::Bitset {
+        if matches!(mode, StepMode::Bitset | StepMode::Batched) {
             // Build (and cache on the network) the bitmask rows up front,
             // so the hot loop never pays the one-time cost mid-run.
             self.net.g_bit_rows();
@@ -1002,6 +1045,179 @@ impl<P: Process> Engine<P> {
         self.finish_round(r, broadcaster_count, deliveries, collisions, extra_count);
     }
 
+    /// Executes one synchronous round through the batched tier's
+    /// single-trial path: the same decide / adversary / carry-save /
+    /// receive phase helpers a [`BatchedEngine`] interleaves across its
+    /// trials, run over one plane pair. Produces executions identical to
+    /// [`Engine::step_bitset`] (and therefore to the whole differential
+    /// chain) — the batch-of-one face of the fourth tier.
+    ///
+    /// Allocation-free in steady state: the plane pair is the scratch's
+    /// own `bit_seen`/`bit_collide`, temporarily moved out (no copy) so
+    /// the receive phase can borrow the planes and the engine mutably at
+    /// once.
+    pub fn step_batched(&mut self) {
+        let words = self.net.n().div_ceil(64);
+        let broadcaster_count = self.batched_decide();
+        let extra_count = self.batched_adversary();
+        let mut seen = std::mem::take(&mut self.scratch.bit_seen);
+        let mut collide = std::mem::take(&mut self.scratch.bit_collide);
+        seen[..words].fill(0);
+        collide[..words].fill(0);
+        if broadcaster_count > 0 {
+            let rows = self.net.g_bit_rows();
+            let RoundScratch {
+                broadcasters,
+                broadcasting,
+                extra,
+                reach_first,
+                ..
+            } = &mut self.scratch;
+            for &u in broadcasters.iter() {
+                carry_save_row(
+                    rows.row(u as usize),
+                    &mut seen[..words],
+                    &mut collide[..words],
+                );
+            }
+            overlay_extra_bits(
+                extra,
+                broadcasting,
+                reach_first,
+                &mut seen[..words],
+                &mut collide[..words],
+            );
+            for &u in broadcasters.iter() {
+                recover_row_sources(
+                    rows.row(u as usize),
+                    u,
+                    &seen[..words],
+                    &collide[..words],
+                    reach_first,
+                );
+            }
+        }
+        self.batched_receive(
+            &seen[..words],
+            &collide[..words],
+            broadcaster_count,
+            extra_count,
+        );
+        self.scratch.bit_seen = seen;
+        self.scratch.bit_collide = collide;
+    }
+
+    /// Batched-tier phase 1: advance the round and let every awake
+    /// process decide, in node order — the exact loop (and therefore the
+    /// exact per-process RNG draw order) of `step_bitset`'s phase 1.
+    /// Returns the broadcaster count.
+    fn batched_decide(&mut self) -> u32 {
+        let n = self.net.n();
+        self.round += 1;
+        let r = self.round;
+        self.metrics.rounds = r;
+        self.scratch.broadcasters.clear();
+        for v in 0..n {
+            if self.wake_rounds[v] > r {
+                self.scratch.broadcasting[v] = false;
+                continue;
+            }
+            let det = detector_set(&self.static_sets, self.detectors.as_ref(), v, r);
+            let mut ctx = Context {
+                local_round: r - self.wake_rounds[v] + 1,
+                n,
+                my_id: self.ids.id_of(NodeId(v)),
+                detector: det,
+                rng: &mut self.rngs[v],
+            };
+            match self.procs[v].decide(&mut ctx) {
+                Action::Idle => {
+                    self.scratch.broadcasting[v] = false;
+                }
+                Action::Broadcast(m) => {
+                    let bits = m.bits();
+                    self.metrics.broadcasts += 1;
+                    self.metrics.bits_broadcast += bits;
+                    if let Some(b) = self.max_message_bits {
+                        if bits > b {
+                            self.metrics.oversize_messages += 1;
+                        }
+                    }
+                    self.scratch.broadcasting[v] = true;
+                    self.scratch.broadcasters.push(v as u32);
+                    self.scratch.msgs[v] = Some(m);
+                }
+            }
+        }
+        self.scratch.broadcasters.len() as u32
+    }
+
+    /// Batched-tier phase 2: collect the adversary's proposal, then
+    /// normalize, sort, dedupe, and validate it up front — exactly
+    /// `step_bitset`'s unconditional full pass, so the recorded
+    /// `extra_edges` count matches the whole chain. Returns the validated
+    /// proposal length.
+    fn batched_adversary(&mut self) -> u32 {
+        let n = self.net.n();
+        self.scratch.extra.clear();
+        self.adversary.extra_edges(
+            self.round,
+            &self.net,
+            &self.scratch.broadcasting,
+            &mut self.scratch.extra,
+        );
+        for e in &mut self.scratch.extra {
+            if e.0 > e.1 {
+                *e = (e.1, e.0);
+            }
+        }
+        self.sort_validate_extra(n);
+        self.scratch.extra.len() as u32
+    }
+
+    /// Batched-tier phase 4: read each listener's bit pair out of the
+    /// given planes and deliver, in node order — the exact receive loop
+    /// (and RNG draw order) of `step_bitset`'s delivery phase — then run
+    /// the shared end-of-round bookkeeping.
+    fn batched_receive(
+        &mut self,
+        seen: &[u64],
+        collide: &[u64],
+        broadcaster_count: u32,
+        extra_count: u32,
+    ) {
+        let n = self.net.n();
+        let r = self.round;
+        let mut deliveries = 0u32;
+        let mut collisions = 0u32;
+        for v in 0..n {
+            if self.wake_rounds[v] > r || self.scratch.broadcasting[v] {
+                continue;
+            }
+            let (w, bit) = (v >> 6, 1u64 << (v & 63));
+            let delivered = if collide[w] & bit != 0 {
+                collisions += 1;
+                None
+            } else if seen[w] & bit != 0 {
+                deliveries += 1;
+                Some(self.scratch.reach_first[v] as usize)
+            } else {
+                None
+            };
+            let det = detector_set(&self.static_sets, self.detectors.as_ref(), v, r);
+            let mut ctx = Context {
+                local_round: r - self.wake_rounds[v] + 1,
+                n,
+                my_id: self.ids.id_of(NodeId(v)),
+                detector: det,
+                rng: &mut self.rngs[v],
+            };
+            let msg = delivered.and_then(|u| self.scratch.msgs[u].as_ref());
+            self.procs[v].receive(&mut ctx, msg);
+        }
+        self.finish_round(r, broadcaster_count, deliveries, collisions, extra_count);
+    }
+
     /// Sorts, dedupes, and validates the (already normalized) proposal in
     /// place — the full pass the tracing path needs so its recorded
     /// `extra_edges` count matches the legacy engine.
@@ -1098,6 +1314,7 @@ impl<P: Process> Engine<P> {
     fn step_selected(&mut self) {
         match self.mode {
             StepMode::Bitset => self.step_bitset(),
+            StepMode::Batched => self.step_batched(),
             _ => self.step(),
         }
     }
@@ -1168,6 +1385,381 @@ impl<P: Process> Engine<P> {
     /// measure); `None` for undecided nodes.
     pub fn decided_latency(&self, v: NodeId) -> Option<u64> {
         self.decided_round[v.index()].map(|r| r - self.wake_rounds[v.index()] + 1)
+    }
+}
+
+/// Carry-saves one bitmask row into a seen/collide plane pair:
+/// `collide |= seen & row; seen |= row`. The iterator form elides bounds
+/// checks so the word loop vectorizes — this is the inner loop the
+/// batched tier runs once per (broadcasting node, broadcasting trial)
+/// pair while the row is hot in cache.
+#[inline]
+fn carry_save_row(row: &[u64], seen: &mut [u64], collide: &mut [u64]) {
+    for ((s, c), &w) in seen.iter_mut().zip(collide.iter_mut()).zip(row) {
+        *c |= *s & w;
+        *s |= w;
+    }
+}
+
+/// Overlays the adversary's validated activated edges onto a plane pair:
+/// each edge with exactly one broadcasting endpoint adds a single bit
+/// (the equality test also drops both-broadcasting pairs and self-loops),
+/// recording the sender in `reach_first` on a clean hit — exactly
+/// `step_bitset`'s overlay, parameterized over the planes.
+#[inline]
+fn overlay_extra_bits(
+    extra: &[(usize, usize)],
+    broadcasting: &[bool],
+    reach_first: &mut [u32],
+    seen: &mut [u64],
+    collide: &mut [u64],
+) {
+    for &(a, b) in extra {
+        if broadcasting[a] == broadcasting[b] {
+            continue;
+        }
+        let (from, to) = if broadcasting[a] { (a, b) } else { (b, a) };
+        let (w, bit) = (to >> 6, 1u64 << (to & 63));
+        if seen[w] & bit != 0 {
+            collide[w] |= bit;
+        } else {
+            seen[w] |= bit;
+            reach_first[to] = from as u32;
+        }
+    }
+}
+
+/// Second row pass over a plane pair: records broadcaster `u` as the
+/// delivering source of every listener its row reached cleanly (seen and
+/// not collided — such a listener has exactly one reaching broadcaster,
+/// so exactly one row writes each slot).
+#[inline]
+fn recover_row_sources(
+    row: &[u64],
+    u: u32,
+    seen: &[u64],
+    collide: &[u64],
+    reach_first: &mut [u32],
+) {
+    for (w, ((&rw, &sw), &cw)) in row.iter().zip(seen).zip(collide).enumerate() {
+        let mut hits = rw & sw & !cw;
+        while hits != 0 {
+            let v = (w << 6) | hits.trailing_zeros() as usize;
+            reach_first[v] = u;
+            hits &= hits - 1;
+        }
+    }
+}
+
+/// Steps `B` independent trials of the same topology one round at a time
+/// over struct-of-arrays reach state — the multi-trial half of the
+/// batched tier (see the module docs' *Performance architecture*).
+///
+/// Every trial's seen/collide planes are contiguous `⌈n/64⌉`-word stripes
+/// of one flat buffer. A batched round runs:
+///
+/// 1. per trial, in trial order: the decide and adversary phases
+///    (identical per-trial code and RNG draw order to
+///    [`Engine::step_bitset`] — trials own disjoint RNG streams, so the
+///    ordering *across* trials is immaterial);
+/// 2. node-major delivery: for every node broadcasting in ≥ 1 trial, the
+///    bitmask row is fetched **once** and carry-saved into each
+///    broadcasting trial's plane while hot, then (after the per-trial
+///    unreliable overlays) a second node-major pass recovers delivering
+///    sources the same way;
+/// 3. per trial, in trial order: the receive phase.
+///
+/// Because trials share no mutable state, interleaving the phases this
+/// way leaves each trial's execution — trace, transcript, metrics,
+/// outputs, RNG streams — bit-identical to stepping its engine solo
+/// through `step_bitset`; the differential tests pin this at several
+/// batch sizes. Allocation-free in steady state: all buffers are sized at
+/// construction.
+pub struct BatchedEngine<P: Process> {
+    engines: Vec<Engine<P>>,
+    /// One shared copy of the reliable layer's bitmask rows (owning it
+    /// keeps the delivery borrows disjoint from the engines).
+    rows: BitRows,
+    n: usize,
+    words: usize,
+    /// Trial-major seen planes: trial `b` owns words `b·words ..
+    /// (b+1)·words`.
+    seen: Vec<u64>,
+    /// Trial-major collide planes, same stripe layout.
+    collide: Vec<u64>,
+    /// Node-major broadcast masks: `⌈B/64⌉` words per node recording
+    /// which trials the node broadcasts in this round. Rebuilt every
+    /// round; lets delivery skip silent nodes in one word read instead of
+    /// a `B`-way cursor merge.
+    bcast_mask: Vec<u64>,
+    mask_words: usize,
+    /// Per-trial (broadcaster, validated-extra) counts for the round.
+    counts: Vec<(u32, u32)>,
+    /// Which trials still step; [`BatchedEngine::run_each`] retires
+    /// trials as they stop, fresh batches step everything.
+    active: Vec<bool>,
+    outcomes: Vec<RunOutcome>,
+}
+
+impl<P: Process> BatchedEngine<P> {
+    /// Assembles a batch over `engines`, which must all simulate the same
+    /// topology (checked cheaply in release — node count and edge slots —
+    /// and structurally in debug builds).
+    ///
+    /// The engines' resolved [`StepMode`]s are irrelevant here: a batch
+    /// always steps its trials through the batched tier. Engines may be at
+    /// different rounds; trials are independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines` is empty or the topologies disagree.
+    pub fn new(engines: Vec<Engine<P>>) -> Self {
+        assert!(!engines.is_empty(), "a batch needs at least one trial");
+        let first = engines[0].net.g_csr();
+        assert!(
+            engines
+                .iter()
+                .all(|e| e.net.n() == first.n() && e.net.g_csr().edge_slots() == first.edge_slots()),
+            "batched trials must share one topology"
+        );
+        debug_assert!(
+            engines.iter().all(|e| e.net.g_csr() == first),
+            "batched trials must share one topology (structural check)"
+        );
+        let n = engines[0].net.n();
+        let words = n.div_ceil(64);
+        let b = engines.len();
+        let mask_words = b.div_ceil(64);
+        let rows = engines[0].net.g_bit_rows().clone();
+        BatchedEngine {
+            rows,
+            n,
+            words,
+            seen: vec![0; b * words],
+            collide: vec![0; b * words],
+            bcast_mask: vec![0; n * mask_words],
+            mask_words,
+            counts: vec![(0, 0); b],
+            active: vec![true; b],
+            outcomes: vec![
+                RunOutcome {
+                    rounds: 0,
+                    stop: StopReason::MaxRounds,
+                };
+                b
+            ],
+            engines,
+        }
+    }
+
+    /// Number of trials in the batch.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Whether the batch is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// The trial engines, in batch order.
+    pub fn engines(&self) -> &[Engine<P>] {
+        &self.engines
+    }
+
+    /// Disassembles the batch back into its trial engines, in batch order.
+    pub fn into_engines(self) -> Vec<Engine<P>> {
+        self.engines
+    }
+
+    /// Steps every still-active trial one round (all trials are active on
+    /// a fresh batch; [`BatchedEngine::run_each`] retires them).
+    pub fn step(&mut self) {
+        let b_count = self.engines.len();
+        let words = self.words;
+        let mask_words = self.mask_words;
+
+        // Phases 1+2, per trial in trial order, clearing each active
+        // trial's planes for the round (every round, including
+        // broadcaster-less ones — the phantom-delivery rule).
+        for b in 0..b_count {
+            if !self.active[b] {
+                continue;
+            }
+            let engine = &mut self.engines[b];
+            let bc = engine.batched_decide();
+            let ec = engine.batched_adversary();
+            self.counts[b] = (bc, ec);
+            self.seen[b * words..(b + 1) * words].fill(0);
+            self.collide[b * words..(b + 1) * words].fill(0);
+        }
+
+        // Node-major broadcast masks for the round.
+        self.bcast_mask.fill(0);
+        for b in 0..b_count {
+            if !self.active[b] || self.counts[b].0 == 0 {
+                continue;
+            }
+            let (mw, mbit) = (b >> 6, 1u64 << (b & 63));
+            for &u in &self.engines[b].scratch.broadcasters {
+                self.bcast_mask[u as usize * mask_words + mw] |= mbit;
+            }
+        }
+
+        // First row pass: each hot row carry-saves into every
+        // broadcasting trial's plane.
+        for u in 0..self.n {
+            let base = u * mask_words;
+            for mw in 0..mask_words {
+                let mut mask = self.bcast_mask[base + mw];
+                if mask == 0 {
+                    continue;
+                }
+                let row = self.rows.row(u);
+                while mask != 0 {
+                    let b = (mw << 6) | mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    carry_save_row(
+                        row,
+                        &mut self.seen[b * words..(b + 1) * words],
+                        &mut self.collide[b * words..(b + 1) * words],
+                    );
+                }
+            }
+        }
+
+        // Per-trial unreliable overlays.
+        for b in 0..b_count {
+            if !self.active[b] || self.counts[b].0 == 0 {
+                continue;
+            }
+            let RoundScratch {
+                extra,
+                broadcasting,
+                reach_first,
+                ..
+            } = &mut self.engines[b].scratch;
+            overlay_extra_bits(
+                extra,
+                broadcasting,
+                reach_first,
+                &mut self.seen[b * words..(b + 1) * words],
+                &mut self.collide[b * words..(b + 1) * words],
+            );
+        }
+
+        // Second row pass: recover each cleanly reached listener's source,
+        // node-major again so the row is fetched once per node.
+        for u in 0..self.n {
+            let base = u * mask_words;
+            for mw in 0..mask_words {
+                let mut mask = self.bcast_mask[base + mw];
+                if mask == 0 {
+                    continue;
+                }
+                let row = self.rows.row(u);
+                while mask != 0 {
+                    let b = (mw << 6) | mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    recover_row_sources(
+                        row,
+                        u as u32,
+                        &self.seen[b * words..(b + 1) * words],
+                        &self.collide[b * words..(b + 1) * words],
+                        &mut self.engines[b].scratch.reach_first,
+                    );
+                }
+            }
+        }
+
+        // Phase 4, per trial in trial order.
+        for b in 0..b_count {
+            if !self.active[b] {
+                continue;
+            }
+            let (bc, ec) = self.counts[b];
+            let engine = &mut self.engines[b];
+            engine.batched_receive(
+                &self.seen[b * words..(b + 1) * words],
+                &self.collide[b * words..(b + 1) * words],
+                bc,
+                ec,
+            );
+        }
+    }
+
+    /// Steps every still-active trial exactly `rounds` more rounds
+    /// (regardless of outputs) — the batched mirror of
+    /// [`Engine::run_rounds`].
+    pub fn run_rounds_each(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Runs every trial until it is done or has executed `max_rounds`
+    /// total rounds, whichever first — per trial, exactly
+    /// [`Engine::run`]'s stop rule (all-done is checked before the
+    /// budget, both before stepping). Active trials stay in round
+    /// lockstep; finished trials freeze while the rest continue. Returns
+    /// one [`RunOutcome`] per trial, in batch order.
+    pub fn run_each(&mut self, max_rounds: u64) -> Vec<RunOutcome> {
+        for flag in &mut self.active {
+            *flag = true;
+        }
+        loop {
+            let mut any = false;
+            for b in 0..self.engines.len() {
+                if !self.active[b] {
+                    continue;
+                }
+                let engine = &self.engines[b];
+                if engine.procs.iter().all(Process::is_done) {
+                    self.outcomes[b] = RunOutcome {
+                        rounds: engine.round,
+                        stop: StopReason::AllDone,
+                    };
+                    self.active[b] = false;
+                } else if engine.round >= max_rounds {
+                    self.outcomes[b] = RunOutcome {
+                        rounds: engine.round,
+                        stop: StopReason::MaxRounds,
+                    };
+                    self.active[b] = false;
+                } else {
+                    any = true;
+                }
+            }
+            if !any {
+                return self.outcomes.clone();
+            }
+            self.step();
+        }
+    }
+
+    /// The batch-level tier selection (see the module docs): runs a trial
+    /// set to `max_rounds` through one [`BatchedEngine`] when batching
+    /// pays — ≥ 2 trials whose engines resolved to the bitset tier (or
+    /// were pinned to the batched one), i.e. a dense shared topology —
+    /// and falls back to per-trial [`Engine::run`] calls otherwise.
+    /// Either way the executions (and the returned per-trial outcomes)
+    /// are bit-identical; only the stepping schedule differs.
+    pub fn run_all(
+        mut engines: Vec<Engine<P>>,
+        max_rounds: u64,
+    ) -> (Vec<Engine<P>>, Vec<RunOutcome>) {
+        let batchable = engines.len() >= 2
+            && engines
+                .iter()
+                .all(|e| matches!(e.step_mode(), StepMode::Bitset | StepMode::Batched));
+        if batchable {
+            let mut batch = BatchedEngine::new(engines);
+            let outcomes = batch.run_each(max_rounds);
+            (batch.into_engines(), outcomes)
+        } else {
+            let outcomes = engines.iter_mut().map(|e| e.run(max_rounds)).collect();
+            (engines, outcomes)
+        }
     }
 }
 
@@ -1443,6 +2035,147 @@ mod tests {
             .spawn(|_| Node::Chatter(Chatter))
             .unwrap();
         assert_eq!(forced.step_mode(), StepMode::Scalar);
+    }
+
+    #[test]
+    fn auto_mode_density_boundary_is_exact() {
+        // n = 64 => words = 1 => break-even at 3·64·1 = 192 edge slots =
+        // 96 undirected edges. A connected graph with exactly 96 edges
+        // sits on the threshold (bitset); one edge fewer falls back to
+        // scalar.
+        let graph_with_edges = |extra_chords: usize| {
+            let mut edges: Vec<(usize, usize)> = (0..63).map(|i| (i, i + 1)).collect();
+            edges.extend((2..2 + extra_chords).map(|j| (0, j + 1)));
+            DualGraph::classic(Graph::from_edges(64, edges).unwrap()).unwrap()
+        };
+        let at = graph_with_edges(33); // 63 + 33 = 96 edges
+        assert_eq!(at.g_csr().edge_slots(), 192);
+        assert_eq!(auto_step_mode(&at), StepMode::Bitset);
+        let below = graph_with_edges(32); // 95 edges
+        assert_eq!(below.g_csr().edge_slots(), 190);
+        assert_eq!(auto_step_mode(&below), StepMode::Scalar);
+    }
+
+    #[test]
+    fn break_even_threshold_never_wraps() {
+        // A pathological n whose 3·n·⌈n/64⌉ product overflows usize must
+        // report "no threshold" (treated as not-dense), not a wrapped
+        // small number that would mis-select the bitset tier.
+        assert_eq!(bitset_break_even(usize::MAX), None);
+        assert_eq!(bitset_break_even(1 << 40), None);
+        // Sane sizes still compute exactly.
+        assert_eq!(bitset_break_even(64), Some(192));
+        assert_eq!(bitset_break_even(1024), Some(3 * 1024 * 16));
+        assert_eq!(bitset_break_even(0), Some(0));
+    }
+
+    #[test]
+    fn batched_tier_matches_bitset_solo_and_in_batch() {
+        // Random chatters over the dense circulant + clique dual: the
+        // batch-of-one path and a 3-trial batch must both reproduce the
+        // bitset tier's executions exactly. (The broad differential suite
+        // at B ∈ {1, 2, 7, 64} lives in tests/determinism.rs.)
+        struct Coin {
+            heard: Vec<Option<u32>>,
+        }
+        impl Process for Coin {
+            type Msg = u32;
+            fn decide(&mut self, ctx: &mut Context<'_>) -> Action<u32> {
+                if ctx.rng.gen_bool(0.3) {
+                    Action::Broadcast(ctx.my_id.get())
+                } else {
+                    Action::Idle
+                }
+            }
+            fn receive(&mut self, _: &mut Context<'_>, m: Option<&u32>) {
+                self.heard.push(m.copied());
+            }
+            fn output(&self) -> Option<bool> {
+                None
+            }
+        }
+        let net = || {
+            let mut edges = Vec::new();
+            for i in 0..70usize {
+                for d in 1..=20 {
+                    edges.push((i, (i + d) % 70));
+                }
+            }
+            let g = Graph::from_edges(70, edges).unwrap();
+            DualGraph::new(g, Graph::complete(70)).unwrap()
+        };
+        let spawn = |seed: u64, mode: StepMode| {
+            EngineBuilder::new(net())
+                .seed(seed)
+                .adversary(crate::adversary::AllUnreliable)
+                .record_trace(true)
+                .step_mode(mode)
+                .spawn(|_| Coin { heard: Vec::new() })
+                .unwrap()
+        };
+        let capture = |e: &Engine<Coin>| {
+            let heard: Vec<_> = e.procs().iter().map(|p| p.heard.clone()).collect();
+            (e.trace().unwrap().clone(), heard, *e.metrics())
+        };
+        for seed in [5u64, 17, 23] {
+            let mut bit = spawn(seed, StepMode::Bitset);
+            bit.run_rounds(40);
+            // Batch-of-one path (also what StepMode::Batched steps).
+            let mut one = spawn(seed, StepMode::Batched);
+            one.run_rounds(40);
+            assert_eq!(capture(&bit), capture(&one), "seed {seed} solo");
+        }
+        // A 3-trial batch, stepped in lockstep.
+        let mut batch = BatchedEngine::new(vec![
+            spawn(5, StepMode::Bitset),
+            spawn(17, StepMode::Bitset),
+            spawn(23, StepMode::Bitset),
+        ]);
+        batch.run_rounds_each(40);
+        for (engine, seed) in batch.engines().iter().zip([5u64, 17, 23]) {
+            let mut reference = spawn(seed, StepMode::Bitset);
+            reference.run_rounds(40);
+            assert_eq!(capture(&reference), capture(engine), "seed {seed} batched");
+        }
+    }
+
+    #[test]
+    fn run_all_selects_batching_only_for_dense_multi_trial_runs() {
+        // Dense clique, 3 trials: engines resolve to Bitset, run_all
+        // batches them; outcomes and rounds match per-trial runs.
+        let clique = || DualGraph::classic(Graph::complete(72)).unwrap();
+        let spawn = |seed: u64| {
+            EngineBuilder::new(clique())
+                .seed(seed)
+                .spawn(|_| Node::Chatter(Chatter))
+                .unwrap()
+        };
+        let (engines, outcomes) = BatchedEngine::run_all(vec![spawn(1), spawn(2), spawn(3)], 12);
+        assert_eq!(engines.len(), 3);
+        for (engine, outcome) in engines.iter().zip(&outcomes) {
+            assert_eq!(engine.round(), 12);
+            assert_eq!(outcome.stop, StopReason::MaxRounds);
+            assert_eq!(outcome.rounds, 12);
+        }
+        // A single trial never batches; a scalar-resolved (sparse) set
+        // falls back to solo runs. Both still execute to the budget.
+        let (solo, _) = BatchedEngine::run_all(vec![spawn(1)], 12);
+        assert_eq!(solo[0].round(), 12);
+        let path = || {
+            let edges: Vec<_> = (0..71).map(|i| (i, i + 1)).collect();
+            DualGraph::classic(Graph::from_edges(72, edges).unwrap()).unwrap()
+        };
+        let sparse: Vec<_> = (0..3)
+            .map(|s| {
+                EngineBuilder::new(path())
+                    .seed(s)
+                    .spawn(|_| Node::Chatter(Chatter))
+                    .unwrap()
+            })
+            .collect();
+        assert!(sparse.iter().all(|e| e.step_mode() == StepMode::Scalar));
+        let (engines, _) = BatchedEngine::run_all(sparse, 12);
+        assert_eq!(engines[0].round(), 12);
     }
 
     #[test]

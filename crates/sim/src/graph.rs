@@ -351,12 +351,17 @@ impl CsrGraph {
     ///
     /// # Panics
     ///
-    /// Panics if the graph has more than `u32::MAX` directed edge slots.
+    /// Panics if the graph has more than `u32::MAX` vertices or more than
+    /// `u32::MAX` directed edge slots. Node ids are stored as `u32`
+    /// throughout ([`Graph::to_csr`] and [`CsrGraph::has_edge`] cast with
+    /// `as u32`), so a larger vertex count would silently truncate ids in
+    /// release builds; the check is therefore a real assertion, not a
+    /// `debug_assert`.
     pub fn from_rows<I>(n: usize, mut row: impl FnMut(usize) -> I) -> Self
     where
         I: Iterator<Item = u32>,
     {
-        debug_assert!(
+        assert!(
             u32::try_from(n).is_ok(),
             "CSR node ids are u32; graph has {n} vertices"
         );
@@ -608,6 +613,17 @@ mod tests {
             }
         }
         assert!(!csr.has_edge(0, 9));
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    #[should_panic(expected = "CSR node ids are u32")]
+    fn csr_rejects_vertex_counts_past_u32() {
+        // The check must fire before any row is generated (and before the
+        // offsets allocation), so an empty-row generator never runs and the
+        // oversized `n` cannot reserve ~16 GiB: the panic happens first,
+        // identically in debug and release builds.
+        CsrGraph::from_rows(u32::MAX as usize + 2, |_| std::iter::empty());
     }
 
     #[test]

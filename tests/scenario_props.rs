@@ -263,6 +263,67 @@ proptest! {
     }
 
     #[test]
+    fn deterministic_topologies_draw_no_rng(
+        n in 1usize..48,
+        beta in 1usize..12,
+        seed in 0u64..10_000,
+        p in 0.0f64..1.0,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{RngCore, SeedableRng};
+        // `is_deterministic()` is what lets the scenario layer share one
+        // topology build across trials (and hand whole cells to the
+        // batched engine) while reconstructing each trial's detector RNG
+        // from the seed alone: a deterministic kind must leave the
+        // topology RNG stream exactly where it found it — even when the
+        // build fails validation.
+        let pool = [
+            TopologyKind::Clique { n },
+            TopologyKind::Path { n },
+            TopologyKind::PathChords { n },
+            TopologyKind::TwoCliqueBridge {
+                beta,
+                bridge_a: 0,
+                bridge_b: beta / 2,
+            },
+            TopologyKind::Line { n, spacing: 0.8, d: 2.0, gray_prob: p },
+            TopologyKind::Grid { cols: 3, rows: 2, spacing: 0.9 },
+            TopologyKind::GeometricDense { n },
+            TopologyKind::GeometricClassic { n },
+            TopologyKind::GeometricDegree { n, degree: 8.0 },
+            TopologyKind::Geometric { n, side: 2.0, d: 2.0, gray_prob: p, max_attempts: 16 },
+            TopologyKind::Clustered { clusters: 2, nodes_per_cluster: 4 },
+        ];
+        let mut deterministic = 0usize;
+        for kind in pool {
+            if !kind.is_deterministic() {
+                continue;
+            }
+            deterministic += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut untouched = rng.clone();
+            let _ = kind.build_with(&mut rng);
+            for _ in 0..8 {
+                prop_assert_eq!(
+                    rng.next_u64(),
+                    untouched.next_u64(),
+                    "{:?} drew from the topology RNG",
+                    kind
+                );
+            }
+            // Zero draws also means the build cannot depend on the seed.
+            let built = kind.build_with(&mut StdRng::seed_from_u64(seed));
+            let rebuilt = kind.build_with(&mut StdRng::seed_from_u64(!seed));
+            match (built, rebuilt) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a.g().edge_count(), b.g().edge_count()),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(false, "{:?}: seed changed build outcome", kind),
+            }
+        }
+        prop_assert_eq!(deterministic, 4, "pool must cover every deterministic kind");
+    }
+
+    #[test]
     fn batched_trials_match_unbatched_index_for_index(
         trials in 0u64..200,
         width in 1u64..9,
