@@ -11,6 +11,7 @@
 //! * [`centralized`] — offline greedy MIS/CDS constructions as structure
 //!   quality yardsticks.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -1,3 +1,4 @@
+// lint:allow(forbid-unsafe) the zero-alloc probe needs `unsafe impl GlobalAlloc` for its counting allocator; the unsafety is confined to that shim
 //! Generates `BENCH_engine.json`: engine rounds/sec, wall time, and
 //! steady-state allocations per round, for all four engine tiers —
 //! scratch (`step`), the seed baseline (`step_legacy`), the word-packed

@@ -8,6 +8,8 @@
 //! experiments e1 e5 --json     # selected experiments, JSON output
 //! ```
 
+#![forbid(unsafe_code)]
+
 use radio_bench::{run_experiment, ALL_EXPERIMENTS};
 
 fn main() {

@@ -70,6 +70,8 @@
 //! fingerprint-mismatched shards. Shards compose with `--checkpoint`:
 //! each shard can itself be killed and resumed.
 
+#![forbid(unsafe_code)]
+
 use radio_bench::checkpoint::{
     merge_partials, shard_range, truncate_jsonl_to_lines, ShardPartial, ShardRef, SweepCheckpoint,
     PARTIAL_SCHEMA,
@@ -452,7 +454,7 @@ fn main() {
     });
 
     let mut report = LabReport {
-        schema: "radio-lab/v2".to_string(),
+        schema: radio_bench::schemas::RESULTS_SCHEMA.to_string(),
         quick,
         streamed: stream,
         wall_s_total: 0.0,
@@ -759,7 +761,7 @@ fn run_checkpointed(
         );
     } else {
         let report = LabReport {
-            schema: "radio-lab/v2".to_string(),
+            schema: radio_bench::schemas::RESULTS_SCHEMA.to_string(),
             quick,
             streamed: true,
             wall_s_total: outcome.wall_s,
@@ -818,7 +820,7 @@ fn run_merge(
     }
     let shards = merged.records_paths.len();
     let report = LabReport {
-        schema: "radio-lab/v2".to_string(),
+        schema: radio_bench::schemas::RESULTS_SCHEMA.to_string(),
         quick: false,
         streamed: true,
         wall_s_total: merged.wall_s,

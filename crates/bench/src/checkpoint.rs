@@ -86,6 +86,18 @@ pub fn sync_parent_dir(path: &Path) -> io::Result<()> {
     File::open(parent)?.sync_all()
 }
 
+/// Serializes to pretty JSON, mapping a serialization failure into an
+/// `InvalidData` I/O error instead of panicking — serve-layer callers
+/// must degrade, never abort.
+pub(crate) fn json_pretty<T: Serialize>(v: &T) -> io::Result<String> {
+    serde_json::to_string_pretty(v).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Compact single-line variant of [`json_pretty`].
+pub(crate) fn json_compact<T: Serialize>(v: &T) -> io::Result<String> {
+    serde_json::to_string(v).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
 /// Writes `bytes` to `path` **atomically and durably**: the bytes land in
 /// a uniquely-named sibling temp file, are fsynced, the temp renames over
 /// `path`, and the containing directory is fsynced. A crash at any moment
@@ -118,15 +130,16 @@ pub fn write_durable_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
 }
 
 /// Schema id of [`SweepCheckpoint`] files.
-pub const CHECKPOINT_SCHEMA: &str = "radio-lab/checkpoint/v1";
+pub use crate::schemas::CHECKPOINT_SCHEMA;
 
 /// Schema id of [`ShardPartial`] files.
-pub const PARTIAL_SCHEMA: &str = "radio-lab/partial/v1";
+pub use crate::schemas::PARTIAL_SCHEMA;
 
 /// FNV-1a 64 of the spec's canonical (compact) JSON — the identity a
 /// checkpoint or shard partial was cut from. Resume and merge refuse to
 /// combine state across different fingerprints.
 pub fn spec_fingerprint(spec: &ScenarioSpec) -> String {
+    // lint:allow(no-panic-serve) ScenarioSpec is plain serde data whose derived Serialize cannot fail, and the infallible String signature is load-bearing for every resume/merge caller
     let json = serde_json::to_string(spec).expect("spec serializes");
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in json.as_bytes() {
@@ -185,8 +198,12 @@ pub fn shard_range(total: u64, shard: ShardRef) -> Range<u64> {
         u128::from(shard.count),
         u128::from(total),
     );
-    let lo = u64::try_from(i * t / m).expect("slice bound fits: ≤ total");
-    let hi = u64::try_from((i + 1) * t / m).expect("slice bound fits: ≤ total");
+    // For valid refs (index < count) both bounds are ≤ total by
+    // construction; the clamp makes degenerate refs (count 0, index out
+    // of range) yield an empty tail slice instead of panicking.
+    let m = m.max(1);
+    let lo = (i * t / m).min(t) as u64;
+    let hi = ((i + 1) * t / m).min(t) as u64;
     lo..hi
 }
 
@@ -733,7 +750,9 @@ pub fn merge_partials(partials: Vec<ShardPartial>) -> io::Result<MergedSweep> {
         )));
     }
     let mut parts = parts.into_iter();
-    let first = parts.next().expect("non-empty checked above");
+    let Some(first) = parts.next() else {
+        return Err(invalid("no shard partials to merge".to_string()));
+    };
     let spec = first.spec;
     let mut agg = StreamAggregate::restore_for_spec(&spec, first.aggregate)
         .map_err(|e| invalid(format!("shard 0: {e}")))?;

@@ -354,7 +354,7 @@ pub fn run_engine_bench(
         .map(|&name| measure_workload(name, rounds, alloc_probe))
         .collect();
     EngineBenchReport {
-        schema: "bench-engine/v3".to_string(),
+        schema: crate::schemas::BENCH_ENGINE_SCHEMA.to_string(),
         workloads,
     }
 }

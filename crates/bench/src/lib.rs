@@ -10,6 +10,7 @@
 //! Run everything: `cargo run -p radio-bench --bin experiments --release -- --all`
 //! Run one: `cargo run -p radio-bench --bin experiments --release -- e5`
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -19,6 +20,7 @@ pub mod enginebench;
 pub mod experiments;
 pub mod parallel;
 pub mod scenario;
+pub mod schemas;
 pub mod serve;
 pub mod sink;
 pub mod stats;

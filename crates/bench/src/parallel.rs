@@ -541,7 +541,10 @@ mod tests {
             31,
             key_of,
             build,
-            |ctx, span| ctx.is_multiple_of(2).then(|| span.map(|t| (Some(*ctx), t)).collect()),
+            |ctx, span| {
+                ctx.is_multiple_of(2)
+                    .then(|| span.map(|t| (Some(*ctx), t)).collect())
+            },
             f,
         );
         assert_eq!(got, expect);
@@ -565,7 +568,8 @@ mod tests {
         let build = |t: u64| t / 7;
         let f = |ctx: Option<&u64>, t: u64| (ctx.copied(), t);
         let fuse = |ctx: &u64, span: std::ops::Range<u64>| {
-            ctx.is_multiple_of(2).then(|| span.map(|t| (Some(*ctx), t)).collect())
+            ctx.is_multiple_of(2)
+                .then(|| span.map(|t| (Some(*ctx), t)).collect())
         };
         let expect = run_trials_batched(23, key_of, build, f);
         for chunk in [1u64, 2, 3, 5, 7, 8, 22, 23, 1000] {

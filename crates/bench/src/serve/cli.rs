@@ -152,10 +152,10 @@ fn resolve_specs(inputs: &[String], quick: bool) -> Result<Vec<ScenarioSpec>, St
 /// load-bearing.
 fn emit_table(table: &Table, json_tables: bool) {
     if json_tables {
-        println!(
-            "{}",
-            serde_json::to_string(table).expect("table serializes")
-        );
+        match crate::checkpoint::json_compact(table) {
+            Ok(json) => println!("{json}"),
+            Err(e) => eprintln!("cannot serialize table: {e}"),
+        }
     } else {
         println!("{}", table.render());
     }
@@ -297,7 +297,7 @@ fn serve_main(args: &[String]) -> i32 {
     };
 
     let mut report = ServeReport {
-        schema: "radio-lab/serve/v1".to_string(),
+        schema: crate::schemas::SERVE_REPORT_SCHEMA.to_string(),
         workers: cfg.workers,
         shards: cfg.shards,
         degraded: outcome.degraded,
@@ -350,7 +350,13 @@ fn serve_main(args: &[String]) -> i32 {
             shards_total: so.shards_total,
         });
     }
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let json = match crate::checkpoint::json_pretty(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot serialize report: {e}");
+            return 1;
+        }
+    };
     if let Err(e) = std::fs::write(&out_path, json) {
         eprintln!("cannot write {out_path}: {e}");
         return 1;
@@ -464,11 +470,7 @@ fn status_main(args: &[String]) -> i32 {
             let scan = scan_spec(sd, &manifest, SystemTime::now())?;
             let status = spec_status(&manifest, &scan);
             if json {
-                writeln!(
-                    out,
-                    "{}",
-                    serde_json::to_string(&status).expect("status serializes")
-                )?;
+                writeln!(out, "{}", crate::checkpoint::json_compact(&status)?)?;
                 return Ok(());
             }
             writeln!(

@@ -40,7 +40,7 @@ use std::path::Path;
 pub const FAULT_PLAN_ENV: &str = "RADIO_LAB_FAULT_PLAN";
 
 /// Schema id of fault-plan files.
-pub const FAULT_PLAN_SCHEMA: &str = "radio-lab/fault-plan/v1";
+pub use crate::schemas::FAULT_PLAN_SCHEMA;
 
 /// What an armed fault does at its chunk boundary.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

@@ -89,13 +89,13 @@ use std::path::{Path, PathBuf};
 use std::time::SystemTime;
 
 /// Schema id of [`SpoolManifest`] files.
-pub const MANIFEST_SCHEMA: &str = "radio-lab/spool-manifest/v1";
+pub use crate::schemas::MANIFEST_SCHEMA;
 
 /// Schema id of [`Claim`] files.
-pub const CLAIM_SCHEMA: &str = "radio-lab/claim/v1";
+pub use crate::schemas::CLAIM_SCHEMA;
 
 /// Schema id of [`SpecStatus`] documents.
-pub const STATUS_SCHEMA: &str = "radio-lab/spool-status/v1";
+pub use crate::schemas::STATUS_SCHEMA;
 
 /// The marker spliced into a preview table's caption while shards are
 /// still missing — "clearly marked incomplete" is part of the
@@ -376,8 +376,7 @@ pub fn submit_spec(
         backoff_ms: cfg.backoff_ms,
         records: cfg.records,
     };
-    let manifest_json =
-        serde_json::to_string_pretty(&manifest).expect("manifest is plain data, serializes");
+    let manifest_json = crate::checkpoint::json_pretty(&manifest)?;
     write_durable_atomic(&sd.manifest_path(), manifest_json.as_bytes())?;
     // The queue entry itself must survive power loss too.
     sync_parent_dir(sd.dir())?;
@@ -438,7 +437,7 @@ pub fn load_claim(path: &Path) -> io::Result<Claim> {
 ///
 /// Surfaces filesystem errors other than the losing race.
 pub fn try_acquire_claim(path: &Path, claim: &Claim) -> io::Result<bool> {
-    let json = serde_json::to_string_pretty(claim).expect("claim is plain data, serializes");
+    let json = crate::checkpoint::json_pretty(claim)?;
     let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("claim");
     let tmp = path.with_file_name(format!(".{name}.acq{}", std::process::id()));
     {
@@ -508,7 +507,7 @@ pub fn heartbeat_and_fence(sd: &SpecDir, index: u64, ours: &Claim) -> io::Result
     let path = sd.claim_path(index, ours.attempt);
     match load_claim(&path) {
         Ok(c) if c.owner == ours.owner && c.attempt == ours.attempt => {
-            let json = serde_json::to_string_pretty(ours).expect("claim is plain data, serializes");
+            let json = crate::checkpoint::json_pretty(ours)?;
             write_durable_atomic(&path, json.as_bytes())?;
             Ok(true)
         }
@@ -823,7 +822,9 @@ pub fn merged_preview(
     let mut parts: Vec<&ShardPartial> = partials.iter().collect();
     parts.sort_by_key(|p| p.shard.index);
     let mut iter = parts.into_iter();
-    let first = iter.next().expect("non-empty checked above");
+    let Some(first) = iter.next() else {
+        return Ok(None);
+    };
     let mut agg = StreamAggregate::restore_for_spec(spec, first.aggregate.clone())
         .map_err(|e| invalid(format!("shard {}: {e}", first.shard)))?;
     for p in iter {
@@ -945,7 +946,7 @@ pub fn spec_status(manifest: &SpoolManifest, scan: &SpecScan) -> SpecStatus {
 ///
 /// Surfaces filesystem errors.
 pub fn write_status(sd: &SpecDir, status: &SpecStatus) -> io::Result<()> {
-    let json = serde_json::to_string_pretty(status).expect("status is plain data, serializes");
+    let json = crate::checkpoint::json_pretty(status)?;
     write_atomic(&sd.status_path(), json.as_bytes())
 }
 

@@ -224,7 +224,7 @@ fn run_shard(
                 attempt: claim.attempt,
                 error: e.to_string(),
             };
-            let json = serde_json::to_string_pretty(&note).expect("note is plain data");
+            let json = crate::checkpoint::json_pretty(&note)?;
             crate::checkpoint::write_durable_atomic(
                 &sd.fail_path(shard, claim.attempt),
                 json.as_bytes(),

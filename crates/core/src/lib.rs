@@ -25,6 +25,7 @@
 //! All Θ(·) constants from the paper's analysis are explicit in
 //! [`params`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

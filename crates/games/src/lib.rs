@@ -20,6 +20,7 @@
 //!    Section 6 algorithm on the real two-clique network under the
 //!    clique-isolating adversary, measuring when the bridge joins.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -1,0 +1,6 @@
+//! A crate root (linted under a virtual src/lib.rs path) without the
+//! unsafe-code forbid.
+
+pub fn answer() -> u32 {
+    42
+}

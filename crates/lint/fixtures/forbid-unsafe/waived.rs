@@ -1,0 +1,6 @@
+// lint:allow(forbid-unsafe) this binary hosts a counting allocator (unsafe impl GlobalAlloc)
+//! A crate root whose unsafety is confined and justified.
+
+pub fn answer() -> u32 {
+    42
+}

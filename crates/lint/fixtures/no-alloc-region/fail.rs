@@ -1,0 +1,10 @@
+// Seeded violation: a fenced hot loop that allocates.
+fn step(&mut self) {
+    // lint: begin-no-alloc
+    let mut names = Vec::new();
+    for v in 0..n {
+        names.push(format!("node-{v}"));
+    }
+    let snapshot = self.rows.to_vec();
+    // lint: end-no-alloc
+}

@@ -1,0 +1,11 @@
+// A fenced region that only reuses preallocated buffers.
+fn step(&mut self) {
+    // lint: begin-no-alloc
+    self.scratch.broadcasters.clear();
+    for v in 0..n {
+        self.scratch.reach_count[v] = 0;
+        self.scratch.broadcasters.push(v as u32);
+    }
+    // lint: end-no-alloc
+    let outside = Vec::new();
+}

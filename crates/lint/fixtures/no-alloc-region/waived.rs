@@ -1,0 +1,10 @@
+// An allocation inside a fence, carrying a written justification.
+fn step_legacy(&mut self) {
+    // lint: begin-no-alloc
+    // lint:allow(no-alloc-region) seed tier allocates per-round buffers by design
+    let mut messages = Vec::with_capacity(n);
+    for v in 0..n {
+        messages.push(None);
+    }
+    // lint: end-no-alloc
+}

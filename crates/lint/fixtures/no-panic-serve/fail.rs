@@ -1,0 +1,7 @@
+// Seeded violation: panicking constructs in serve-layer code (linted
+// under a virtual path inside crates/bench/src/serve/).
+fn write_status(sd: &SpecDir, status: &SpecStatus) {
+    let json = serde_json::to_string_pretty(status).expect("serializes");
+    std::fs::write(sd.status_path(), json).unwrap();
+    panic!("unreachable");
+}

@@ -1,0 +1,29 @@
+// Seeded violation: the two tiers draw from the RNG in different orders.
+fn tier_a(&mut self) {
+    // lint: rng-order(decide)
+    for v in 0..n {
+        let mut ctx = Context {
+            local_round: r,
+            rng: &mut self.rngs[v],
+        };
+        match self.procs[v].decide(&mut ctx) {
+            _ => {}
+        }
+    }
+    // lint: end-rng-order(decide)
+}
+
+fn tier_b(&mut self) {
+    // lint: rng-order(decide)
+    for v in 0..n {
+        let extra = self.rngs[v].gen_bool(0.5);
+        let mut ctx = Context {
+            local_round: r,
+            rng: &mut self.rngs[v],
+        };
+        match self.procs[v].decide(&mut ctx) {
+            _ => {}
+        }
+    }
+    // lint: end-rng-order(decide)
+}

@@ -1,0 +1,30 @@
+// Two tiers with token-identical RNG event sequences; the surrounding
+// bookkeeping may differ freely.
+fn tier_a(&mut self) {
+    // lint: rng-order(decide)
+    for v in 0..n {
+        let mut ctx = Context {
+            local_round: r,
+            rng: &mut self.rngs[v],
+        };
+        match self.procs[v].decide(&mut ctx) {
+            _ => {}
+        }
+    }
+    // lint: end-rng-order(decide)
+}
+
+fn tier_b(&mut self) {
+    // lint: rng-order(decide)
+    for v in 0..n {
+        scratch.counts[v] += 1;
+        let mut ctx = Context {
+            local_round: r,
+            rng: &mut self.rngs[v],
+        };
+        match self.procs[v].decide(&mut ctx) {
+            _ => {}
+        }
+    }
+    // lint: end-rng-order(decide)
+}

@@ -1,0 +1,13 @@
+// Same divergence as fail.rs, but the divergent block carries a waiver.
+fn tier_a(&mut self) {
+    // lint: rng-order(decide)
+    let x = rng.gen_range(0..n);
+    // lint: end-rng-order(decide)
+}
+
+fn tier_b(&mut self) {
+    // lint:allow(rng-order-sync) experimental tier, excluded from the differential chain
+    // lint: rng-order(decide)
+    let x = rng.gen_bool(0.5);
+    // lint: end-rng-order(decide)
+}

@@ -1,0 +1,7 @@
+// Seeded violation: a schema id spelled inline outside radio_bench::schemas.
+// Linted under a virtual path inside crates/bench/src/.
+fn report() -> Report {
+    Report {
+        schema: "radio-lab/serve/v1".to_string(),
+    }
+}

@@ -1,0 +1,15 @@
+// The compliant form: reference the named constant; test code may still
+// spell the literal (schema pinning tests are the point of having them).
+fn report() -> Report {
+    Report {
+        schema: crate::schemas::SERVE_REPORT_SCHEMA.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn schema_is_pinned() {
+        assert_eq!(super::report().schema, "radio-lab/serve/v1");
+    }
+}

@@ -1,0 +1,5 @@
+// A legacy reader keeps the old id inline, with a written justification.
+fn upgrade(doc: &str) -> bool {
+    // lint:allow(schema-literal) v0 migration shim reads the retired id
+    doc.contains("radio-lab/fault-plan/v0")
+}

@@ -1,0 +1,416 @@
+//! A small hand-rolled Rust lexer — just enough token structure for the
+//! project's lint rules, with none of `syn`'s weight (the build
+//! environment is offline; vendored deps only).
+//!
+//! The lexer splits a source file into a **code token** stream and a
+//! **comment** stream. Rules scan the code tokens (so string/comment
+//! contents can never produce false matches), while the lint directives —
+//! region markers and waivers — are parsed from the comments. Both carry
+//! 1-based line numbers so diagnostics point at real locations.
+//!
+//! Deliberately out of scope: full operator gluing (`::` is two `:`
+//! tokens), numeric exponent signs, and macro expansion. The rules match
+//! token *sequences*, so none of that costs precision for the patterns
+//! this repo pins.
+
+/// What kind of code token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (integers, floats, suffixed forms).
+    Num,
+    /// String literal — `text` holds the *inner* content, unescaped only
+    /// to the extent rules need (escape sequences are kept verbatim).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime (`'a`).
+    Life,
+    /// Any single punctuation character.
+    Punct,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text (inner content for strings, the character itself for
+    /// punctuation).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// One comment (line or block) with the line it starts on. For line
+/// comments `text` is everything after the `//`; for block comments,
+/// everything between the delimiters.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment body.
+    pub text: String,
+    /// Whether this was a `//` line comment (directives are only honored
+    /// in line comments; block comments are prose).
+    pub line_comment: bool,
+}
+
+/// Lexer output: code tokens plus comments, both in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens.
+    pub toks: Vec<Tok>,
+    /// Comments.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// strings or comments simply run to end of file (the compiler is the
+/// authority on well-formedness; the linter only needs to stay in sync
+/// on valid code).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: src[start..i].to_string(),
+                    line_comment: true,
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start_line = line;
+                let start = i + 2;
+                i += 2;
+                let mut depth = 1u32;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = if depth == 0 { i - 2 } else { i };
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: src[start..end].to_string(),
+                    line_comment: false,
+                });
+            }
+            b'"' => {
+                let (text, ni, nl) = scan_string(src, i, line);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                i = ni;
+                line = nl;
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(b, i) => {
+                let (kind, text, ni, nl) = scan_prefixed_literal(src, i, line);
+                out.toks.push(Tok { kind, text, line });
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                let (kind, text, ni, nl) = scan_char_or_lifetime(src, i, line);
+                out.toks.push(Tok { kind, text, line });
+                i = ni;
+                line = nl;
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    if is_ident_continue(b[i]) {
+                        i += 1;
+                    } else if b[i] == b'.'
+                        && i + 1 < b.len()
+                        && b[i + 1].is_ascii_digit()
+                        && !src[start..i].contains('.')
+                    {
+                        // A single decimal point followed by a digit joins
+                        // the number; `0..n` stays three tokens.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                // Any other byte is one punctuation token. Multi-byte
+                // UTF-8 sequences are consumed whole so `src` slicing
+                // stays on char boundaries.
+                let ch_len = src[i..].chars().next().map_or(1, char::len_utf8);
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: src[i..i + ch_len].to_string(),
+                    line,
+                });
+                i += ch_len;
+            }
+        }
+    }
+    out
+}
+
+/// Whether position `i` (at `r` or `b`) starts a raw/byte string or byte
+/// char literal rather than a plain identifier.
+fn starts_raw_or_byte_literal(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j < b.len() && b[j] == b'\'' {
+            return true; // b'x'
+        }
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+    }
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"' && j > i
+}
+
+/// Scans a plain `"…"` string starting at `i`. Returns (inner text, next
+/// index, next line).
+fn scan_string(src: &str, i: usize, mut line: u32) -> (String, usize, u32) {
+    let b = src.as_bytes();
+    let start = i + 1;
+    let mut j = start;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => {
+                // An escaped newline (line continuation) still advances
+                // the line counter.
+                if j + 1 < b.len() && b[j + 1] == b'\n' {
+                    line += 1;
+                }
+                j = (j + 2).min(b.len());
+            }
+            b'"' => return (src[start..j].to_string(), j + 1, line),
+            b'\n' => {
+                line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (src[start..j].to_string(), j, line)
+}
+
+/// Scans a literal introduced by `r`/`b` prefixes: raw strings, byte
+/// strings, raw byte strings, and byte chars.
+fn scan_prefixed_literal(src: &str, i: usize, line: u32) -> (TokKind, String, usize, u32) {
+    let b = src.as_bytes();
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'\'' {
+        // b'x' byte char.
+        let (_, text, ni, nl) = scan_char_or_lifetime(src, j, line);
+        return (TokKind::Char, text, ni, nl);
+    }
+    let raw = j < b.len() && b[j] == b'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    // b[j] == b'"' guaranteed by starts_raw_or_byte_literal.
+    let start = j + 1;
+    let mut k = start;
+    let mut nl = line;
+    if raw {
+        let closer: Vec<u8> = std::iter::once(b'"')
+            .chain((0..hashes).map(|_| b'#'))
+            .collect();
+        while k < b.len() {
+            if b[k] == b'\n' {
+                nl += 1;
+                k += 1;
+            } else if b[k] == b'"' && b[k..].starts_with(&closer) {
+                return (
+                    TokKind::Str,
+                    src[start..k].to_string(),
+                    k + closer.len(),
+                    nl,
+                );
+            } else {
+                k += 1;
+            }
+        }
+        (TokKind::Str, src[start..k].to_string(), k, nl)
+    } else {
+        let (text, ni, nl) = scan_string(src, j, line);
+        (TokKind::Str, text, ni, nl)
+    }
+}
+
+/// Scans a `'…'` token: a char literal or a lifetime.
+fn scan_char_or_lifetime(src: &str, i: usize, line: u32) -> (TokKind, String, usize, u32) {
+    let b = src.as_bytes();
+    let j = i + 1;
+    if j >= b.len() {
+        return (TokKind::Punct, "'".to_string(), j, line);
+    }
+    if b[j] == b'\\' {
+        // Escaped char literal: consume the escape, then to the closing
+        // quote (covers \', \n, \u{…}).
+        let mut k = j + 2;
+        while k < b.len() && b[k] != b'\'' {
+            k += 1;
+        }
+        let k = (k + 1).min(b.len());
+        return (TokKind::Char, src[i..k].to_string(), k, line);
+    }
+    if is_ident_start(b[j]) {
+        let mut k = j;
+        while k < b.len() && is_ident_continue(b[k]) {
+            k += 1;
+        }
+        if k < b.len() && b[k] == b'\'' {
+            // 'a' — a one-ident char literal.
+            return (TokKind::Char, src[i..=k].to_string(), k + 1, line);
+        }
+        // 'a without closing quote — a lifetime.
+        return (TokKind::Life, src[i..k].to_string(), k, line);
+    }
+    // 'x' for punctuation-class x (e.g. '(').
+    let ch_len = src[j..].chars().next().map_or(1, char::len_utf8);
+    let mut k = j + ch_len;
+    if k < b.len() && b[k] == b'\'' {
+        k += 1;
+    }
+    (TokKind::Char, src[i..k].to_string(), k, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let t = kinds("let x = 0..n; y += 1.5;");
+        let texts: Vec<&str> = t.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["let", "x", "=", "0", ".", ".", "n", ";", "y", "+", "=", "1.5", ";"]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments_are_separated() {
+        let l = lex("let s = \"vec![no]\"; // vec![also no]\n/* block\nvec! */ call()");
+        assert!(l.toks.iter().all(|t| !(t.is_ident("vec"))));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].line_comment);
+        assert!(!l.comments[1].line_comment);
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_chars_and_lifetimes() {
+        let l = lex(r####"let s = r#"radio "x""#; let c = 'a'; fn f<'a>() {} let q = '\'';"####);
+        let strs: Vec<_> = l.toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "radio \"x\"");
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Life).count(), 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let l = lex("a\n\"two\nlines\"\nb");
+        let a = &l.toks[0];
+        let b = l.toks.last().unwrap();
+        assert_eq!(a.line, 1);
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn string_line_continuation_counts_lines() {
+        let l = lex("let s = \"a\\\nb\";\nnext");
+        assert_eq!(l.toks.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let l = lex("let a = b\"bytes\"; let c = b'x';");
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+}

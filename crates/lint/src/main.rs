@@ -1,0 +1,84 @@
+//! `radio-lint` — walk the workspace and enforce the repo invariants.
+//!
+//! Usage: `radio-lint [--check] [--root DIR] [--report PATH]`
+//!
+//! * `--check`  exit 1 if any unwaived finding exists (CI mode)
+//! * `--root`   workspace root to walk (default: current directory)
+//! * `--report` also write the findings to a file (for CI artifacts)
+//!
+//! Exit codes: 0 clean (or informational run without `--check`),
+//! 1 unwaived findings under `--check`, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut root = PathBuf::from(".");
+    let mut report: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--root" => match args.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => return usage("--root needs a directory"),
+            },
+            "--report" => match args.next() {
+                Some(p) => report = Some(PathBuf::from(p)),
+                None => return usage("--report needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("radio-lint [--check] [--root DIR] [--report PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let findings = match radio_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("radio-lint: failed to walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let unwaived: Vec<_> = findings.iter().filter(|f| f.waived.is_none()).collect();
+    let waived = findings.len() - unwaived.len();
+
+    let mut out = String::new();
+    for f in &findings {
+        let _ = writeln!(out, "{f}");
+    }
+    let _ = writeln!(
+        out,
+        "radio-lint: {} finding(s), {} unwaived, {} waived",
+        findings.len(),
+        unwaived.len(),
+        waived
+    );
+    print!("{out}");
+
+    if let Some(path) = report {
+        if let Err(e) = std::fs::write(&path, &out) {
+            eprintln!("radio-lint: failed to write report {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if check && !unwaived.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("radio-lint: {msg}");
+    eprintln!("usage: radio-lint [--check] [--root DIR] [--report PATH]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,634 @@
+//! The five lint rules. Each takes the lexed file plus whatever scoping
+//! input it needs and returns raw findings; waivers are applied by the
+//! caller ([`crate::lint_source`]).
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::{Directive, Finding, LineRange, SourcedDirective};
+
+/// Callee names that count as RNG-draw (or RNG-consuming) events for
+/// `rng-order-sync`. `decide` / `receive` are included because the
+/// process callbacks are where the engine hands its per-node RNG stream
+/// to user code — their order *is* the draw order.
+const RNG_CALLEES: [&str; 8] = [
+    "gen",
+    "gen_bool",
+    "gen_range",
+    "gen_ratio",
+    "sample",
+    "seed_from_u64",
+    "decide",
+    "receive",
+];
+
+fn finding(rule: &'static str, file: &str, line: u32, message: String) -> Finding {
+    Finding {
+        rule,
+        file: file.to_string(),
+        line,
+        message,
+        waived: None,
+    }
+}
+
+/// Joins a token slice back into a canonical single-spaced string for
+/// sequence comparison and diagnostics.
+fn join(toks: &[Tok]) -> String {
+    let mut s = String::new();
+    for t in toks {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        if t.kind == TokKind::Str {
+            s.push('"');
+            s.push_str(&t.text);
+            s.push('"');
+        } else {
+            s.push_str(&t.text);
+        }
+    }
+    s
+}
+
+/// Index range (into `toks`) of tokens strictly between two marker lines.
+fn span_between(toks: &[Tok], begin_line: u32, end_line: u32) -> (usize, usize) {
+    let a = toks.partition_point(|t| t.line <= begin_line);
+    let b = toks.partition_point(|t| t.line < end_line);
+    (a, b)
+}
+
+/// `rng-order-sync`: blocks tagged `// lint: rng-order(<group>)` must
+/// contain token-identical RNG-event sequences per group. The reference
+/// is the first block of each group in file order.
+pub fn rng_order_sync(file: &str, lexed: &Lexed, directives: &[SourcedDirective]) -> Vec<Finding> {
+    const RULE: &str = "rng-order-sync";
+    let mut findings = Vec::new();
+    // Pair begin/end markers per group, in line order.
+    let mut open: Vec<(String, u32)> = Vec::new();
+    let mut blocks: Vec<(String, u32, u32)> = Vec::new();
+    for d in directives {
+        match &d.directive {
+            Directive::RngBegin { group } => {
+                if open.iter().any(|(g, _)| g == group) {
+                    findings.push(finding(
+                        RULE,
+                        file,
+                        d.line,
+                        format!("rng-order group '{group}' reopened before end marker"),
+                    ));
+                } else {
+                    open.push((group.clone(), d.line));
+                }
+            }
+            Directive::RngEnd { group } => match open.iter().position(|(g, _)| g == group) {
+                Some(i) => {
+                    let (g, begin) = open.remove(i);
+                    blocks.push((g, begin, d.line));
+                }
+                None => findings.push(finding(
+                    RULE,
+                    file,
+                    d.line,
+                    format!("end-rng-order('{group}') without a matching begin marker"),
+                )),
+            },
+            _ => {}
+        }
+    }
+    for (group, line) in open {
+        findings.push(finding(
+            RULE,
+            file,
+            line,
+            format!("rng-order group '{group}' never closed"),
+        ));
+    }
+    blocks.sort_by_key(|&(_, begin, _)| begin);
+
+    // Extract and compare event sequences group by group (first
+    // occurrence order, each group once).
+    let mut groups: Vec<&str> = Vec::new();
+    for (g, _, _) in &blocks {
+        if !groups.contains(&g.as_str()) {
+            groups.push(g.as_str());
+        }
+    }
+    for group in groups {
+        let members: Vec<&(String, u32, u32)> =
+            blocks.iter().filter(|(g, _, _)| g == group).collect();
+        let (first, rest) = match members.split_first() {
+            Some(x) => x,
+            None => continue,
+        };
+        let (a, b) = span_between(&lexed.toks, first.1, first.2);
+        let reference = rng_events(&lexed.toks, a, b);
+        for m in rest {
+            let (a, b) = span_between(&lexed.toks, m.1, m.2);
+            let events = rng_events(&lexed.toks, a, b);
+            if events == reference {
+                continue;
+            }
+            let detail = first_divergence(&reference, &events);
+            findings.push(finding(
+                RULE,
+                file,
+                m.1,
+                format!(
+                    "rng-order('{group}') block diverges from reference block at line {}: {detail}",
+                    first.1
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// Describes the first point where two event sequences differ.
+fn first_divergence(reference: &[String], events: &[String]) -> String {
+    for (k, (r, e)) in reference.iter().zip(events.iter()).enumerate() {
+        if r != e {
+            return format!("event {k} is `{e}`, reference has `{r}`");
+        }
+    }
+    format!(
+        "sequence has {} RNG events, reference has {}",
+        events.len(),
+        reference.len()
+    )
+}
+
+/// Extracts the RNG-event sequence from a token span: `rng:` field wiring
+/// (captured to the struct-literal field boundary) and calls to
+/// [`RNG_CALLEES`] (captured with their receiver chain and arguments).
+fn rng_events(toks: &[Tok], a: usize, b: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = a;
+    while i < b {
+        // `rng: <expr>` struct-field wiring, up to the depth-0 `,` / `}`.
+        if toks[i].is_ident("rng")
+            && i + 1 < b
+            && toks[i + 1].is_punct(':')
+            && !(i + 2 < b && toks[i + 2].is_punct(':'))
+            && !(i > a && toks[i - 1].is_punct(':'))
+        {
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            while j < b {
+                let t = &toks[j];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct(',') {
+                    break;
+                }
+                j += 1;
+            }
+            out.push(join(&toks[i..j]));
+            i = j;
+            continue;
+        }
+        // Calls to RNG-consuming methods (not their `fn` definitions).
+        if toks[i].kind == TokKind::Ident
+            && RNG_CALLEES.contains(&toks[i].text.as_str())
+            && !(i > 0 && toks[i - 1].is_ident("fn"))
+        {
+            if let Some(end) = call_end(toks, b, i) {
+                let start = receiver_start(toks, a, i);
+                out.push(join(&toks[start..end]));
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// If the ident at `callee` begins a call (optionally with a turbofish),
+/// returns the index one past its closing `)`.
+fn call_end(toks: &[Tok], b: usize, callee: usize) -> Option<usize> {
+    let mut j = callee + 1;
+    if j + 2 < b && toks[j].is_punct(':') && toks[j + 1].is_punct(':') && toks[j + 2].is_punct('<')
+    {
+        let mut depth = 0i32;
+        j += 2;
+        while j < b {
+            if toks[j].is_punct('<') {
+                depth += 1;
+            } else if toks[j].is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    if j >= b || !toks[j].is_punct('(') {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut k = j;
+    while k < b {
+        if toks[k].is_punct('(') {
+            depth += 1;
+        } else if toks[k].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k + 1);
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Walks backwards from a callee over its `.`-linked receiver chain
+/// (idents, index expressions, call results) and returns the chain's
+/// start index.
+fn receiver_start(toks: &[Tok], a: usize, callee: usize) -> usize {
+    let mut k = callee;
+    while k >= a + 2 && toks[k - 1].is_punct('.') {
+        let prev = k - 2;
+        if toks[prev].kind == TokKind::Ident {
+            k = prev;
+        } else if toks[prev].is_punct(']') || toks[prev].is_punct(')') {
+            let (open, close) = if toks[prev].is_punct(']') {
+                ('[', ']')
+            } else {
+                ('(', ')')
+            };
+            let mut depth = 0i32;
+            let mut p = prev;
+            loop {
+                if toks[p].is_punct(close) {
+                    depth += 1;
+                } else if toks[p].is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if p == a {
+                    break;
+                }
+                p -= 1;
+            }
+            if p > a && toks[p - 1].kind == TokKind::Ident {
+                k = p - 1;
+            } else {
+                k = p;
+            }
+        } else {
+            break;
+        }
+    }
+    k
+}
+
+/// `no-alloc-region`: fenced regions reject allocating constructs.
+pub fn no_alloc_region(file: &str, lexed: &Lexed, directives: &[SourcedDirective]) -> Vec<Finding> {
+    const RULE: &str = "no-alloc-region";
+    let mut findings = Vec::new();
+    let mut open: Option<u32> = None;
+    let mut regions: Vec<(u32, u32)> = Vec::new();
+    for d in directives {
+        match &d.directive {
+            Directive::NoAllocBegin => {
+                if open.is_some() {
+                    findings.push(finding(
+                        RULE,
+                        file,
+                        d.line,
+                        "nested begin-no-alloc (previous region never closed)".to_string(),
+                    ));
+                } else {
+                    open = Some(d.line);
+                }
+            }
+            Directive::NoAllocEnd => match open.take() {
+                Some(begin) => regions.push((begin, d.line)),
+                None => findings.push(finding(
+                    RULE,
+                    file,
+                    d.line,
+                    "end-no-alloc without a matching begin-no-alloc".to_string(),
+                )),
+            },
+            _ => {}
+        }
+    }
+    if let Some(begin) = open {
+        findings.push(finding(
+            RULE,
+            file,
+            begin,
+            "begin-no-alloc never closed".to_string(),
+        ));
+    }
+
+    let toks = &lexed.toks;
+    for (begin, end) in regions {
+        let (a, b) = span_between(toks, begin, end);
+        for i in a..b {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let next = |off: usize| toks.get(i + off).filter(|n| n.line < end);
+            let construct: Option<&str> = match t.text.as_str() {
+                "Vec" | "Box"
+                    if next(1).is_some_and(|n| n.is_punct(':'))
+                        && next(2).is_some_and(|n| n.is_punct(':'))
+                        && next(3).is_some_and(|n| n.is_ident("new")) =>
+                {
+                    Some(if t.text == "Vec" {
+                        "Vec::new"
+                    } else {
+                        "Box::new"
+                    })
+                }
+                "vec" if next(1).is_some_and(|n| n.is_punct('!')) => Some("vec!"),
+                "format" if next(1).is_some_and(|n| n.is_punct('!')) => Some("format!"),
+                "to_vec" if next(1).is_some_and(|n| n.is_punct('(')) => Some("to_vec()"),
+                "with_capacity" if next(1).is_some_and(|n| n.is_punct('(')) => {
+                    Some("with_capacity()")
+                }
+                "collect"
+                    if next(1).is_some_and(|n| n.is_punct('('))
+                        || (next(1).is_some_and(|n| n.is_punct(':'))
+                            && next(2).is_some_and(|n| n.is_punct(':'))
+                            && next(3).is_some_and(|n| n.is_punct('<'))) =>
+                {
+                    Some("collect()")
+                }
+                "clone"
+                    if i > 0
+                        && toks[i - 1].is_punct('.')
+                        && next(1).is_some_and(|n| n.is_punct('(')) =>
+                {
+                    Some(".clone()")
+                }
+                _ => None,
+            };
+            if let Some(c) = construct {
+                findings.push(finding(
+                    RULE,
+                    file,
+                    t.line,
+                    format!(
+                        "allocating construct `{c}` inside no-alloc region begun at line {begin}"
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// `schema-literal`: schema-id strings may only be defined in the
+/// `radio_bench::schemas` constants module.
+pub fn schema_literal(file: &str, lexed: &Lexed, test_spans: &[LineRange]) -> Vec<Finding> {
+    const RULE: &str = "schema-literal";
+    // lint:allow(schema-literal) rule pattern definitions, not schema ids
+    const PREFIXES: [&str; 2] = ["radio-lab/", "bench-engine/"];
+    const HOME: &str = "crates/bench/src/schemas.rs";
+    if file == HOME {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for t in &lexed.toks {
+        if t.kind != TokKind::Str {
+            continue;
+        }
+        if !PREFIXES.iter().any(|p| t.text.starts_with(p)) {
+            continue;
+        }
+        if test_spans.iter().any(|s| s.contains(t.line)) {
+            continue;
+        }
+        findings.push(finding(
+            RULE,
+            file,
+            t.line,
+            format!(
+                "schema-id literal \"{}\" outside radio_bench::schemas — use the named constant",
+                t.text
+            ),
+        ));
+    }
+    findings
+}
+
+/// `no-panic-serve`: the serve/checkpoint layers must degrade instead of
+/// panic.
+pub fn no_panic_serve(file: &str, lexed: &Lexed, test_spans: &[LineRange]) -> Vec<Finding> {
+    const RULE: &str = "no-panic-serve";
+    let scoped =
+        file.starts_with("crates/bench/src/serve/") || file == "crates/bench/src/checkpoint.rs";
+    if !scoped {
+        return Vec::new();
+    }
+    let toks = &lexed.toks;
+    let mut findings = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let construct: Option<&str> = match t.text.as_str() {
+            "unwrap" | "expect"
+                if i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+            {
+                Some(if t.text == "unwrap" {
+                    ".unwrap()"
+                } else {
+                    ".expect("
+                })
+            }
+            "panic" if toks.get(i + 1).is_some_and(|n| n.is_punct('!')) => Some("panic!"),
+            _ => None,
+        };
+        let Some(c) = construct else { continue };
+        if test_spans.iter().any(|s| s.contains(t.line)) {
+            continue;
+        }
+        findings.push(finding(
+            RULE,
+            file,
+            t.line,
+            format!("`{c}` in serve/checkpoint layer — degrade with an error value instead"),
+        ));
+    }
+    findings
+}
+
+/// `forbid-unsafe`: every crate root (`src/lib.rs`, `src/main.rs`,
+/// `src/bin/*.rs`) must carry `#![forbid(unsafe_code)]`.
+pub fn forbid_unsafe(file: &str, lexed: &Lexed) -> Vec<Finding> {
+    const RULE: &str = "forbid-unsafe";
+    let is_root = file == "src/lib.rs"
+        || file == "src/main.rs"
+        || file.ends_with("/src/lib.rs")
+        || file.ends_with("/src/main.rs")
+        || file.contains("/src/bin/");
+    if !is_root {
+        return Vec::new();
+    }
+    let t = &lexed.toks;
+    for i in 0..t.len().saturating_sub(7) {
+        if t[i].is_punct('#')
+            && t[i + 1].is_punct('!')
+            && t[i + 2].is_punct('[')
+            && t[i + 3].is_ident("forbid")
+            && t[i + 4].is_punct('(')
+            && t[i + 5].is_ident("unsafe_code")
+            && t[i + 6].is_punct(')')
+            && t[i + 7].is_punct(']')
+        {
+            return Vec::new();
+        }
+    }
+    vec![finding(
+        RULE,
+        file,
+        1,
+        "crate root is missing #![forbid(unsafe_code)]".to_string(),
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse_directives;
+
+    fn run_rng(src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let (ds, _) = parse_directives("f.rs", &lexed.comments);
+        rng_order_sync("f.rs", &lexed, &ds)
+    }
+
+    #[test]
+    fn rng_event_extraction_captures_wiring_and_calls() {
+        let src = "\
+// lint: rng-order(g)
+let mut ctx = Context {
+    local_round: r,
+    rng: &mut self.rngs[v],
+};
+match self.procs[v].decide(&mut ctx) { _ => {} }
+// lint: end-rng-order(g)
+";
+        let lexed = lex(src);
+        let events = rng_events(&lexed.toks, 0, lexed.toks.len());
+        assert_eq!(events.len(), 2, "{events:?}");
+        assert_eq!(events[0], "rng : & mut self . rngs [ v ]");
+        assert_eq!(events[1], "self . procs [ v ] . decide ( & mut ctx )");
+        assert!(run_rng(src).is_empty());
+    }
+
+    #[test]
+    fn rng_order_divergence_is_flagged() {
+        let src = "\
+// lint: rng-order(g)
+let x = rng.gen_range(0..n);
+// lint: end-rng-order(g)
+// lint: rng-order(g)
+let x = rng.gen_bool(0.5);
+// lint: end-rng-order(g)
+";
+        let f = run_rng(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn fn_definitions_are_not_events() {
+        let src = "\
+// lint: rng-order(g)
+fn decide(&mut self) {}
+// lint: end-rng-order(g)
+// lint: rng-order(g)
+// lint: end-rng-order(g)
+";
+        assert!(run_rng(src).is_empty());
+    }
+
+    #[test]
+    fn unmatched_markers_are_findings() {
+        assert_eq!(run_rng("// lint: rng-order(g)\n").len(), 1);
+        assert_eq!(run_rng("// lint: end-rng-order(g)\n").len(), 1);
+    }
+
+    #[test]
+    fn no_alloc_flags_each_construct() {
+        let src = "\
+// lint: begin-no-alloc
+let a = Vec::new();
+let b = vec![0; n];
+let c = xs.to_vec();
+let d: Vec<_> = it.collect();
+let e = it.collect::<Vec<_>>();
+let f = format!(\"x\");
+let g = h.clone();
+let i = Box::new(0);
+let j = Vec::with_capacity(n);
+// lint: end-no-alloc
+";
+        let lexed = lex(src);
+        let (ds, _) = parse_directives("f.rs", &lexed.comments);
+        let f = no_alloc_region("f.rs", &lexed, &ds);
+        assert_eq!(f.len(), 9, "{f:?}");
+    }
+
+    #[test]
+    fn no_alloc_allows_clean_code() {
+        let src = "\
+// lint: begin-no-alloc
+let mut x = 0u64;
+buf.clear();
+buf.push(1);
+let cloned = derived_name();
+// lint: end-no-alloc
+";
+        let lexed = lex(src);
+        let (ds, _) = parse_directives("f.rs", &lexed.comments);
+        assert!(no_alloc_region("f.rs", &lexed, &ds).is_empty());
+    }
+
+    #[test]
+    fn schema_literal_scoping() {
+        let src = "const S: &str = \"radio-lab/v2\";";
+        let lexed = lex(src);
+        assert_eq!(
+            schema_literal("crates/bench/src/bin/x.rs", &lexed, &[]).len(),
+            1
+        );
+        assert!(schema_literal("crates/bench/src/schemas.rs", &lexed, &[]).is_empty());
+    }
+
+    #[test]
+    fn no_panic_serve_scoping_and_idents() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"z\"); x.unwrap_or(0); }";
+        let lexed = lex(src);
+        let f = no_panic_serve("crates/bench/src/serve/spool.rs", &lexed, &[]);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(no_panic_serve("crates/sim/src/engine.rs", &lexed, &[]).is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_detects_attribute() {
+        let with = lex("#![forbid(unsafe_code)]\nfn main() {}");
+        let without = lex("fn main() {}");
+        assert!(forbid_unsafe("crates/x/src/main.rs", &with).is_empty());
+        assert_eq!(forbid_unsafe("crates/x/src/main.rs", &without).len(), 1);
+        assert!(forbid_unsafe("crates/x/src/other.rs", &without).is_empty());
+    }
+}

@@ -414,6 +414,7 @@ impl EngineBuilder {
 
 /// Reusable per-round buffers of the engine (see the module docs for the
 /// invariants). Sized once at spawn; `step()` only overwrites.
+// lint: begin-no-alloc
 struct RoundScratch<M> {
     /// This round's decisions, indexed by node. Only current-round
     /// broadcasters' slots are meaningful; idle slots go stale (never
@@ -446,6 +447,7 @@ struct RoundScratch<M> {
     /// carry-save "seen twice" half of the pair).
     bit_collide: Vec<u64>,
 }
+// lint: end-no-alloc
 
 impl<M> RoundScratch<M> {
     fn new(n: usize, extra_capacity: usize) -> Self {
@@ -536,6 +538,7 @@ impl<P: Process> Engine<P> {
     /// engine's scratch (see the module docs). Deliveries are computed by
     /// scattering each broadcaster's CSR neighborhood into epoch-stamped
     /// reach counters, `O(Σ deg(broadcasters) + extra edges + n)` per round.
+    // lint: begin-no-alloc
     pub fn step(&mut self) {
         let n = self.net.n();
         self.round += 1;
@@ -547,6 +550,7 @@ impl<P: Process> Engine<P> {
         // slot of a *current-round* broadcaster (via `reach_first`), and
         // those slots are freshly written below.
         self.scratch.broadcasters.clear();
+        // lint: rng-order(decide)
         for v in 0..n {
             if self.wake_rounds[v] > r {
                 self.scratch.broadcasting[v] = false;
@@ -579,6 +583,7 @@ impl<P: Process> Engine<P> {
                 }
             }
         }
+        // lint: end-rng-order(decide)
         let broadcaster_count = self.scratch.broadcasters.len() as u32;
 
         // Phase 2: the adversary picks the round's unreliable reach edges.
@@ -713,6 +718,7 @@ impl<P: Process> Engine<P> {
         let epoch = self.scratch.epoch;
         let mut deliveries = 0u32;
         let mut collisions = 0u32;
+        // lint: rng-order(receive)
         for v in 0..n {
             if self.wake_rounds[v] > r || self.scratch.broadcasting[v] {
                 continue;
@@ -742,14 +748,17 @@ impl<P: Process> Engine<P> {
             let msg = delivered.and_then(|u| self.scratch.msgs[u].as_ref());
             self.procs[v].receive(&mut ctx, msg);
         }
+        // lint: end-rng-order(receive)
         self.finish_round(r, broadcaster_count, deliveries, collisions, extra_count);
     }
+    // lint: end-no-alloc
 
     /// The seed implementation of [`Engine::step`], kept verbatim as the
     /// reference for differential (golden-trace) testing and as the
     /// baseline side of `BENCH_engine.json`. Allocates its per-round
     /// buffers and scans every listener's full neighborhood; produces
     /// executions identical to [`Engine::step`] for the same seed.
+    // lint: begin-no-alloc
     #[allow(clippy::needless_range_loop)] // kept structurally verbatim
     pub fn step_legacy(&mut self) {
         let n = self.net.n();
@@ -758,8 +767,11 @@ impl<P: Process> Engine<P> {
         self.metrics.rounds = r;
 
         // Phase 1: every awake process decides.
+        // lint:allow(no-alloc-region) seed tier allocates its per-round buffers by design
         let mut messages: Vec<Option<P::Msg>> = Vec::with_capacity(n);
+        // lint:allow(no-alloc-region) seed tier allocates its per-round buffers by design
         let mut broadcasting = vec![false; n];
+        // lint: rng-order(decide)
         for v in 0..n {
             if self.wake_rounds[v] > r {
                 messages.push(None);
@@ -789,6 +801,7 @@ impl<P: Process> Engine<P> {
                 }
             }
         }
+        // lint: end-rng-order(decide)
 
         // Phase 2: the adversary picks the round's unreliable reach edges.
         self.scratch.extra.clear();
@@ -810,6 +823,7 @@ impl<P: Process> Engine<P> {
 
         // Per-listener extra reach: broadcasters connected by an activated
         // unreliable edge.
+        // lint:allow(no-alloc-region) seed tier allocates its per-round buffers by design
         let mut extra_from: Vec<Vec<usize>> = vec![Vec::new(); n];
         for &(u, v) in &self.scratch.extra {
             if broadcasting[u] && !broadcasting[v] {
@@ -824,6 +838,7 @@ impl<P: Process> Engine<P> {
         // otherwise ⊥. Sleeping nodes neither broadcast nor receive.
         let mut deliveries = 0u32;
         let mut collisions = 0u32;
+        // lint: rng-order(receive)
         for v in 0..n {
             if self.wake_rounds[v] > r || broadcasting[v] {
                 continue;
@@ -861,9 +876,11 @@ impl<P: Process> Engine<P> {
             let msg = delivered.and_then(|u| messages[u].as_ref());
             self.procs[v].receive(&mut ctx, msg);
         }
+        // lint: end-rng-order(receive)
         let broadcaster_count = broadcasting.iter().filter(|&&b| b).count() as u32;
         self.finish_round(r, broadcaster_count, deliveries, collisions, extra_count);
     }
+    // lint: end-no-alloc
 
     /// Executes one synchronous round through the word-packed delivery
     /// tier (see the module docs' *Performance architecture*).
@@ -888,6 +905,7 @@ impl<P: Process> Engine<P> {
     /// Allocation-free in steady state. The bitmask rows are built (and
     /// cached on the network) at spawn for engines resolved to
     /// [`StepMode::Bitset`], or on the first call otherwise.
+    // lint: begin-no-alloc
     pub fn step_bitset(&mut self) {
         let n = self.net.n();
         self.round += 1;
@@ -897,6 +915,7 @@ impl<P: Process> Engine<P> {
         // Phase 1: every awake process decides — identical to `step`, so
         // the RNG streams and broadcast metrics stay in lockstep.
         self.scratch.broadcasters.clear();
+        // lint: rng-order(decide)
         for v in 0..n {
             if self.wake_rounds[v] > r {
                 self.scratch.broadcasting[v] = false;
@@ -929,6 +948,7 @@ impl<P: Process> Engine<P> {
                 }
             }
         }
+        // lint: end-rng-order(decide)
         let broadcaster_count = self.scratch.broadcasters.len() as u32;
 
         // Phase 2: the adversary picks the round's unreliable reach edges.
@@ -1017,6 +1037,7 @@ impl<P: Process> Engine<P> {
         // neither => silence. Same receive-call order as `step`.
         let mut deliveries = 0u32;
         let mut collisions = 0u32;
+        // lint: rng-order(receive)
         for v in 0..n {
             if self.wake_rounds[v] > r || self.scratch.broadcasting[v] {
                 continue;
@@ -1042,8 +1063,10 @@ impl<P: Process> Engine<P> {
             let msg = delivered.and_then(|u| self.scratch.msgs[u].as_ref());
             self.procs[v].receive(&mut ctx, msg);
         }
+        // lint: end-rng-order(receive)
         self.finish_round(r, broadcaster_count, deliveries, collisions, extra_count);
     }
+    // lint: end-no-alloc
 
     /// Executes one synchronous round through the batched tier's
     /// single-trial path: the same decide / adversary / carry-save /
@@ -1056,6 +1079,7 @@ impl<P: Process> Engine<P> {
     /// own `bit_seen`/`bit_collide`, temporarily moved out (no copy) so
     /// the receive phase can borrow the planes and the engine mutably at
     /// once.
+    // lint: begin-no-alloc
     pub fn step_batched(&mut self) {
         let words = self.net.n().div_ceil(64);
         let broadcaster_count = self.batched_decide();
@@ -1106,17 +1130,20 @@ impl<P: Process> Engine<P> {
         self.scratch.bit_seen = seen;
         self.scratch.bit_collide = collide;
     }
+    // lint: end-no-alloc
 
     /// Batched-tier phase 1: advance the round and let every awake
     /// process decide, in node order — the exact loop (and therefore the
     /// exact per-process RNG draw order) of `step_bitset`'s phase 1.
     /// Returns the broadcaster count.
+    // lint: begin-no-alloc
     fn batched_decide(&mut self) -> u32 {
         let n = self.net.n();
         self.round += 1;
         let r = self.round;
         self.metrics.rounds = r;
         self.scratch.broadcasters.clear();
+        // lint: rng-order(decide)
         for v in 0..n {
             if self.wake_rounds[v] > r {
                 self.scratch.broadcasting[v] = false;
@@ -1149,14 +1176,17 @@ impl<P: Process> Engine<P> {
                 }
             }
         }
+        // lint: end-rng-order(decide)
         self.scratch.broadcasters.len() as u32
     }
+    // lint: end-no-alloc
 
     /// Batched-tier phase 2: collect the adversary's proposal, then
     /// normalize, sort, dedupe, and validate it up front — exactly
     /// `step_bitset`'s unconditional full pass, so the recorded
     /// `extra_edges` count matches the whole chain. Returns the validated
     /// proposal length.
+    // lint: begin-no-alloc
     fn batched_adversary(&mut self) -> u32 {
         let n = self.net.n();
         self.scratch.extra.clear();
@@ -1174,11 +1204,13 @@ impl<P: Process> Engine<P> {
         self.sort_validate_extra(n);
         self.scratch.extra.len() as u32
     }
+    // lint: end-no-alloc
 
     /// Batched-tier phase 4: read each listener's bit pair out of the
     /// given planes and deliver, in node order — the exact receive loop
     /// (and RNG draw order) of `step_bitset`'s delivery phase — then run
     /// the shared end-of-round bookkeeping.
+    // lint: begin-no-alloc
     fn batched_receive(
         &mut self,
         seen: &[u64],
@@ -1190,6 +1222,7 @@ impl<P: Process> Engine<P> {
         let r = self.round;
         let mut deliveries = 0u32;
         let mut collisions = 0u32;
+        // lint: rng-order(receive)
         for v in 0..n {
             if self.wake_rounds[v] > r || self.scratch.broadcasting[v] {
                 continue;
@@ -1215,12 +1248,15 @@ impl<P: Process> Engine<P> {
             let msg = delivered.and_then(|u| self.scratch.msgs[u].as_ref());
             self.procs[v].receive(&mut ctx, msg);
         }
+        // lint: end-rng-order(receive)
         self.finish_round(r, broadcaster_count, deliveries, collisions, extra_count);
     }
+    // lint: end-no-alloc
 
     /// Sorts, dedupes, and validates the (already normalized) proposal in
     /// place — the full pass the tracing path needs so its recorded
     /// `extra_edges` count matches the legacy engine.
+    // lint: begin-no-alloc
     fn sort_validate_extra(&mut self, n: usize) {
         self.scratch.extra.sort_unstable();
         self.scratch.extra.dedup();
@@ -1241,9 +1277,11 @@ impl<P: Process> Engine<P> {
             }
         });
     }
+    // lint: end-no-alloc
 
     /// Shared end-of-round bookkeeping: aggregate metrics, first-output
     /// rounds, and the optional trace record.
+    // lint: begin-no-alloc
     fn finish_round(
         &mut self,
         r: u64,
@@ -1269,6 +1307,7 @@ impl<P: Process> Engine<P> {
             });
         }
     }
+    // lint: end-no-alloc
 
     /// Runs until every process is done or `max_rounds` total rounds have
     /// been executed.
@@ -1393,6 +1432,7 @@ impl<P: Process> Engine<P> {
 /// checks so the word loop vectorizes — this is the inner loop the
 /// batched tier runs once per (broadcasting node, broadcasting trial)
 /// pair while the row is hot in cache.
+// lint: begin-no-alloc
 #[inline]
 fn carry_save_row(row: &[u64], seen: &mut [u64], collide: &mut [u64]) {
     for ((s, c), &w) in seen.iter_mut().zip(collide.iter_mut()).zip(row) {
@@ -1450,6 +1490,7 @@ fn recover_row_sources(
         }
     }
 }
+// lint: end-no-alloc
 
 /// Steps `B` independent trials of the same topology one round at a time
 /// over struct-of-arrays reach state — the multi-trial half of the
@@ -1574,6 +1615,7 @@ impl<P: Process> BatchedEngine<P> {
 
     /// Steps every still-active trial one round (all trials are active on
     /// a fresh batch; [`BatchedEngine::run_each`] retires them).
+    // lint: begin-no-alloc
     pub fn step(&mut self) {
         let b_count = self.engines.len();
         let words = self.words;
@@ -1687,6 +1729,7 @@ impl<P: Process> BatchedEngine<P> {
             );
         }
     }
+    // lint: end-no-alloc
 
     /// Steps every still-active trial exactly `rounds` more rounds
     /// (regardless of outputs) — the batched mirror of

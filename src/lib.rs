@@ -8,6 +8,8 @@
 //! workspace-level integration tests under `tests/` and the runnable
 //! `examples/`, and re-exports the member crates for convenience.
 
+#![forbid(unsafe_code)]
+
 pub use hitting_games;
 pub use radio_baselines;
 pub use radio_bench;

@@ -11,6 +11,8 @@
 //! `CRITERION_QUICK=1` shrinks warm-up and measurement windows to smoke
 //! levels so CI can run every bench target in seconds.
 
+#![forbid(unsafe_code)]
+
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
 

@@ -7,6 +7,8 @@
 //! deterministic RNG (no shrinking): a failing case prints its inputs so
 //! it can be reproduced as a plain unit test.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::Rng;
 

@@ -8,6 +8,8 @@
 //! property every test and experiment relies on) but do **not** match
 //! upstream `rand`'s ChaCha12 output.
 
+#![forbid(unsafe_code)]
+
 /// A source of 64-bit random words.
 pub trait RngCore {
     /// The next 64 random bits.

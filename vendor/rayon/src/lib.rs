@@ -7,6 +7,8 @@
 //! by original index, so `collect` yields exactly the serial order: with
 //! per-item derived seeds, parallel runs are bit-identical to serial ones.
 
+#![forbid(unsafe_code)]
+
 use std::cell::Cell;
 use std::num::NonZeroUsize;
 

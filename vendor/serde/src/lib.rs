@@ -7,6 +7,8 @@
 //! enums with unit or struct variants — exactly the shapes this repository
 //! declares. The companion `serde_json` crate renders and parses the tree.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 pub mod value;

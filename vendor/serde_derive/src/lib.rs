@@ -7,6 +7,8 @@
 //! struct-like. Generic types and `#[serde(...)]` attributes are not
 //! supported and panic with a clear message at expansion time.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 enum Shape {

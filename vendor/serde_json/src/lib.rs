@@ -1,6 +1,8 @@
 //! Offline, API-compatible subset of `serde_json`: renders the vendored
 //! serde [`Value`] tree to JSON text and parses JSON text back.
 
+#![forbid(unsafe_code)]
+
 use serde::value::{DeError, Value};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
